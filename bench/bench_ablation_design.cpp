@@ -1,0 +1,79 @@
+// Design-choice ablations beyond the paper's printed tables — the knobs
+// Algorithm 1 fixes by fiat, swept on the 130M proxy:
+//   (a) norm-growth limiter: off / γ ∈ {1.001, 1.01, 1.1} (paper: 1.01),
+//   (b) projection re-seed period T ∈ {1, 10, 50, never} (paper: 200 at
+//       10K+ steps; 50 is the scaled default here),
+//   (c) APOLLO gradient scale α ∈ {0.5, 1, 2} (paper: 1, folded into LR).
+//
+// Expected shape: a broad plateau around the paper's choices — the limiter
+// matters (off is worse/less stable), re-seeding matters at both extremes
+// (never = stale subspace, every step = no moment coherence), α trades off
+// against the LR.
+#include "exp_common.h"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+namespace {
+
+Method apollo_variant(bool nl, float gamma, int freq, float scale) {
+  Method m = m_apollo();
+  m.make = [nl, gamma, freq, scale](int64_t r, uint64_t s) {
+    core::ApolloConfig cfg;
+    cfg.rank = r;
+    cfg.seed = s;
+    cfg.use_norm_limiter = nl;
+    cfg.nl_gamma = gamma;
+    cfg.update_freq = freq;
+    cfg.scale = scale;
+    return std::make_unique<core::Apollo>(cfg, "APOLLO(ablate)");
+  };
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = nn::llama_130m_proxy();
+  const int nsteps = steps(350);
+  std::printf("Design ablations — APOLLO on the 130M proxy (%d steps, "
+              "rank hidden/4)\n", nsteps);
+  print_rule(86);
+
+  std::printf("(a) norm-growth limiter\n");
+  {
+    auto off = run_pretrain(apollo_variant(false, 0.f, 50, 1.f), cfg, nsteps);
+    std::printf("    %-22s ppl %8.2f\n", "limiter off", off.result.final_perplexity);
+    for (float gamma : {1.001f, 1.01f, 1.1f}) {
+      auto r = run_pretrain(apollo_variant(true, gamma, 50, 1.f), cfg, nsteps);
+      std::printf("    gamma = %-14.3f ppl %8.2f%s\n", gamma,
+                  r.result.final_perplexity,
+                  gamma == 1.01f ? "   <- paper default" : "");
+    }
+  }
+
+  print_rule(86);
+  std::printf("(b) projection re-seed period T\n");
+  for (int freq : {1, 10, 50, 1 << 28}) {
+    auto r = run_pretrain(apollo_variant(true, 1.01f, freq, 1.f), cfg, nsteps);
+    if (freq == 1 << 28)
+      std::printf("    %-22s ppl %8.2f\n", "never (fixed P)",
+                  r.result.final_perplexity);
+    else
+      std::printf("    T = %-18d ppl %8.2f%s\n", freq,
+                  r.result.final_perplexity,
+                  freq == 50 ? "   <- scaled default" : "");
+  }
+
+  print_rule(86);
+  std::printf("(c) gradient scale alpha (at fixed lr %.3g)\n",
+              m_apollo().lr);
+  for (float scale : {0.5f, 1.f, 2.f}) {
+    auto r = run_pretrain(apollo_variant(true, 1.01f, 50, scale), cfg, nsteps);
+    std::printf("    alpha = %-16.2f ppl %8.2f%s\n", scale,
+                r.result.final_perplexity,
+                scale == 1.f ? "   <- paper default" : "");
+  }
+  print_rule(86);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Mechanism-resolved learning ablation (extension experiment): after
+// identical training budgets, split each optimizer's validation loss by the
+// corpus mechanism that generated the target token —
+//   markov : short-range topic transitions (learnable from local stats),
+//   copy   : the token from 8 positions back (requires attention),
+//   unigram: irreducible Zipf noise (floor ≈ its entropy for everyone).
+//
+// Expected shape: APOLLO(-Mini) tracks AdamW on *every* mechanism — i.e.
+// the structured learning-rate compression does not selectively sacrifice
+// the attention-dependent structure; rank-starved GaLore degrades the
+// learnable mechanisms first while the unigram floor stays common.
+#include "exp_common.h"
+#include "train/mechanism_eval.h"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+int main() {
+  const auto cfg = nn::llama_130m_proxy();
+  const int nsteps = steps(400);
+  std::printf("Mechanism-resolved loss — 130M proxy, %d steps "
+              "(CE in nats; lower is better)\n", nsteps);
+  print_rule(86);
+  std::printf("%-16s %10s %10s %10s %12s\n", "Method", "markov", "copy",
+              "unigram", "overall ppl");
+  print_rule(86);
+
+  const Method methods[] = {m_adamw(), m_galore(), m_fira(), m_apollo(),
+                            m_apollo_mini()};
+  data::SyntheticCorpus corpus({});
+  for (const auto& method : methods) {
+    nn::LlamaModel model(cfg, 42);
+    auto opt = method.make(std::max(1, cfg.hidden / 4), 77);
+    train::TrainConfig tc;
+    tc.steps = nsteps;
+    tc.batch = 4;
+    tc.lr = method.lr;
+    train::Trainer trainer(model, *opt, corpus, tc);
+    const auto result = trainer.run();
+    const auto ml = train::mechanism_loss(model, corpus, /*batches=*/12,
+                                          /*batch=*/4, /*seed=*/5151);
+    std::printf("%-16s %10.3f %10.3f %10.3f %12.2f\n", method.name.c_str(),
+                ml.markov, ml.copy, ml.unigram, result.final_perplexity);
+  }
+  print_rule(86);
+  std::printf("(copy-mechanism loss is the attention probe: it falls only "
+              "if induction-style heads formed)\n");
+  return 0;
+}

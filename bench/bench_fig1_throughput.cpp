@@ -1,0 +1,56 @@
+// Fig. 1 (right) reproduction: end-to-end 7B pre-training throughput on the
+// modeled 8×A100-80GB node. Each method trains at its own maximum
+// micro-batch under the cap; AdamW is memory-bound at a single-digit
+// micro-batch (starved tensor cores + un-amortized per-step overheads).
+//
+// Expected shape (paper): APOLLO(-Mini) ≈ 3× AdamW tokens/s, ≈ 2× GaLore
+// (which additionally pays the periodic SVD).
+#include "exp_common.h"
+#include "sysmodel/throughput_model.h"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+int main() {
+  std::printf("Fig. 1 (right) — modeled end-to-end throughput, LLaMA-7B on "
+              "8xA100-80GB, total batch 512 seq\n");
+  print_rule(96);
+  std::printf("%-14s %12s %12s %12s %12s %10s\n", "Method", "micro-batch",
+              "compute s", "proj s", "tokens/s", "vs AdamW");
+  print_rule(96);
+
+  struct Row {
+    const char* label;
+    sysmodel::Method kind;
+    int64_t rank;
+    bool svd;
+    bool layerwise;
+  };
+  const Row rows[] = {
+      {"AdamW", sysmodel::Method::kAdamW, 0, false, false},
+      {"GaLore", sysmodel::Method::kGaLore, 1024, true, true},
+      {"APOLLO", sysmodel::Method::kApollo, 256, false, true},
+      {"APOLLO-Mini", sysmodel::Method::kApolloMini, 1, false, true},
+  };
+
+  const auto model = sysmodel::spec_llama_7b();
+  sysmodel::GpuSpec gpu;
+  double adamw_tps = 0;
+  for (const auto& row : rows) {
+    sysmodel::MethodSpec ms;
+    ms.method = row.kind;
+    ms.rank = row.rank;
+    ms.layerwise_grad_update = row.layerwise;
+    const auto t = sysmodel::end_to_end_throughput(model, ms, gpu, 512,
+                                                   row.svd, 200);
+    if (adamw_tps == 0) adamw_tps = t.tokens_per_s;
+    std::printf("%-14s %12lld %12.2f %12.2f %12.0f %9.2fx\n", row.label,
+                static_cast<long long>(t.micro_batch), t.cost.compute_s,
+                t.cost.projector_s, t.tokens_per_s,
+                t.tokens_per_s / adamw_tps);
+  }
+  print_rule(96);
+  std::printf("(micro-batch = sum over 8 GPUs; APOLLO's edge = 4x batch "
+              "-> saturated tensor cores + amortized overheads, no SVD)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 5 (d) reproduction: validation perplexity vs. rank on the 60M proxy
+// for GaLore, Fira, APOLLO (channel-wise) and APOLLO-Mini-style tensor-wise
+// scaling, against full-rank AdamW.
+//
+// Expected shape (paper): GaLore needs rank ≈ hidden/4 to match AdamW and
+// collapses at low rank; Fira helps; APOLLO stays flat down to very low
+// rank; tensor-wise (Mini) works even at rank 1.
+#include "exp_common.h"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+int main() {
+  const auto cfg = nn::llama_60m_proxy();  // hidden 32 → full rank ladder 1…8
+  const int nsteps = steps(250);
+  std::printf("Fig. 5 (d) — rank sweep on the 60M proxy (hidden %d, "
+              "%d steps)\n", cfg.hidden, nsteps);
+  print_rule(96);
+
+  const int64_t ranks[] = {1, 2, 4, 8};  // 8 = hidden/4, the paper default
+
+  // Tensor-granularity APOLLO at arbitrary rank (rank 1 = APOLLO-Mini).
+  Method apollo_tensor = m_apollo_mini();
+  apollo_tensor.make = [&cfg](int64_t r, uint64_t s) {
+    core::ApolloConfig acfg = core::ApolloConfig::mini();
+    acfg.rank = r;
+    acfg.seed = s;
+    acfg.update_freq = 50;
+    // Tensor-wise α tracks √(hidden/(4r)) — the width-scaled version of
+    // the paper's rule (α shrinks as the auxiliary rank grows).
+    acfg.scale = std::sqrt(std::max(1.f, cfg.hidden / (4.f * r)));
+    return std::make_unique<core::Apollo>(acfg, "APOLLO-tensor");
+  };
+
+  struct Row {
+    const char* label;
+    Method method;
+  };
+  const Row rows[] = {
+      {"GaLore", m_galore()},
+      {"Fira", m_fira()},
+      {"APOLLO (channel)", m_apollo()},
+      {"APOLLO-Mini (tensor)", apollo_tensor},
+  };
+
+  const double adamw_ppl =
+      run_pretrain(m_adamw(), cfg, nsteps).result.final_perplexity;
+  std::printf("AdamW full-rank reference: %.2f\n", adamw_ppl);
+  print_rule(96);
+  std::printf("%-22s", "Method \\ rank");
+  for (int64_t r : ranks) std::printf(" %9lld", static_cast<long long>(r));
+  std::printf("\n");
+  print_rule(96);
+  for (const auto& row : rows) {
+    std::printf("%-22s", row.label);
+    std::fflush(stdout);
+    for (int64_t r : ranks) {
+      auto run = run_pretrain(row.method, cfg, nsteps, 4, 0, 42, r);
+      std::printf(" %9.2f", run.result.final_perplexity);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  print_rule(96);
+  std::printf("(expect: GaLore worsens sharply as rank drops; APOLLO flat; "
+              "tensor-wise effective even at rank 1)\n");
+  return 0;
+}

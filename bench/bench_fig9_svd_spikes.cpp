@@ -1,0 +1,111 @@
+// Fig. 9 reproduction: per-step training throughput of a GaLore-type
+// optimizer showing periodic collapses at every SVD projector refresh,
+// vs. APOLLO's flat profile.
+//
+// Two parts: (1) *measured* on this machine — wall-clock per optimizer step
+// on the 350M proxy with refresh every 25 steps, printed as a step series;
+// (2) *modeled* at LLaMA-1B scale with the calibrated 600 s/7B SVD anchor,
+// matching the figure's setting.
+//
+// Expected shape: deep periodic notches for GaLore/Fira (SVD), none for
+// APOLLO/Flora (seeded random projection).
+#include <chrono>
+
+#include "exp_common.h"
+#include "sysmodel/throughput_model.h"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+int main() {
+  const auto cfg = nn::llama_350m_proxy();
+  const int nsteps = steps(100);
+  const int refresh = 25;
+  std::printf("Fig. 9 — SVD-induced throughput spikes (measured, 350M "
+              "proxy, refresh every %d steps)\n", refresh);
+  print_rule(96);
+
+  auto measure = [&](const Method& method, int update_freq) {
+    nn::LlamaModel model(cfg, 42);
+    data::SyntheticCorpus corpus({});
+    auto opt = method.make(cfg.hidden / 4, 7);
+    // Re-wire the refresh period via a dedicated construction.
+    (void)update_freq;
+    opt->set_lr(0.01f);
+    data::BatchLoader loader(corpus, 4, cfg.seq_len, 7);
+    std::vector<int32_t> ids, targets;
+    std::vector<double> step_ms;
+    for (int s = 0; s < nsteps; ++s) {
+      loader.next(ids, targets);
+      model.zero_grads();
+      ag::Tape tape;
+      tape.backward(model.loss(tape, ids, targets));
+      const auto t0 = std::chrono::steady_clock::now();
+      opt->step(model.parameters());
+      const auto t1 = std::chrono::steady_clock::now();
+      step_ms.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return step_ms;
+  };
+
+  Method galore_fast = m_galore();
+  galore_fast.make = [refresh](int64_t r, uint64_t s) {
+    auto cfg = galore_cfg(r, s);
+    cfg.update_freq = refresh;
+    return optim::GaLore::galore(cfg);
+  };
+  Method apollo_fast = m_apollo();
+  apollo_fast.make = [refresh](int64_t r, uint64_t s) {
+    auto cfg = apollo_cfg(r, s);
+    cfg.update_freq = refresh;
+    return core::Apollo::standard(cfg);
+  };
+
+  const auto galore_ms = measure(galore_fast, refresh);
+  const auto apollo_ms = measure(apollo_fast, refresh);
+
+  std::printf("%6s %16s %16s\n", "step", "GaLore ms/step",
+              "APOLLO ms/step");
+  for (int s = 0; s < nsteps; s += 5)
+    std::printf("%6d %16.2f %16.2f\n", s,
+                galore_ms[static_cast<size_t>(s)],
+                apollo_ms[static_cast<size_t>(s)]);
+
+  // Spike statistics.
+  auto stats = [](const std::vector<double>& v) {
+    double mx = 0, sum = 0;
+    for (double x : v) {
+      mx = std::max(mx, x);
+      sum += x;
+    }
+    return std::pair{mx, sum / static_cast<double>(v.size())};
+  };
+  const auto [gmax, gmean] = stats(galore_ms);
+  const auto [amax, amean] = stats(apollo_ms);
+  print_rule(96);
+  std::printf("GaLore: mean %.2f ms, max %.2f ms (spike ratio %.1fx)\n",
+              gmean, gmax, gmax / gmean);
+  std::printf("APOLLO: mean %.2f ms, max %.2f ms (spike ratio %.1fx)\n",
+              amean, amax, amax / amean);
+
+  print_rule(96);
+  std::printf("Modeled at LLaMA-1B scale (tokens/s per step, refresh every "
+              "200 steps):\n");
+  const auto model1b = sysmodel::spec_llama_1b();
+  sysmodel::GpuSpec gpu;
+  sysmodel::MethodSpec ms;
+  ms.method = sysmodel::Method::kGaLore;
+  ms.rank = 512;
+  ms.layerwise_grad_update = true;
+  const auto base = sysmodel::step_cost(model1b, gpu, 64, 512, false, 200);
+  const double svd_s = sysmodel::projector_refresh_seconds(model1b, true);
+  const double tokens = 512.0 * model1b.seq_len;
+  std::printf("  steady-state step: %.0f tokens/s;  SVD-refresh step: %.0f "
+              "tokens/s (%.0fx collapse)\n",
+              tokens / base.total(), tokens / (base.total() + svd_s),
+              (base.total() + svd_s) / base.total());
+  std::printf("  APOLLO every step: %.0f tokens/s (no SVD, seed refresh "
+              "only)\n", tokens / base.total());
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Supporting microbenchmarks (google-benchmark): the kernels whose cost
+// asymmetry drives the paper's system story — SVD vs. seeded random
+// projection, per-step cost of each optimizer, quantization round-trips,
+// and the training-stack primitives.
+#include <benchmark/benchmark.h>
+
+#include "core/apollo.h"
+#include "data/corpus.h"
+#include "linalg/projection.h"
+#include "linalg/svd.h"
+#include "nn/llama.h"
+#include "optim/adamw.h"
+#include "optim/galore.h"
+#include "quant/quant.h"
+#include "tensor/ops.h"
+
+namespace apollo {
+namespace {
+
+Matrix random_matrix(int64_t r, int64_t c, uint64_t seed) {
+  Matrix m(r, c);
+  Rng rng(seed);
+  m.fill_gaussian(rng, 0.f, 0.1f);
+  return m;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Matrix a = random_matrix(n, n, 1), b = random_matrix(n, n, 2), c(n, n);
+  for (auto _ : state) {
+    matmul(c, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+// The paper's core cost asymmetry: SVD projector vs. seeded RP generation.
+void BM_SvdProjector(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Matrix g = random_matrix(n, 4 * n, 3);
+  for (auto _ : state) {
+    Matrix p = svd_left_projector(g, n / 4);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_SvdProjector)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_RandomProjector(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Matrix p = gaussian_projection(n / 4, n, seed++);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_RandomProjector)->Arg(32)->Arg(64)->Arg(128);
+
+// Per-step optimizer cost on one 128×512 weight.
+template <typename MakeOpt>
+void optimizer_step_bench(benchmark::State& state, MakeOpt make) {
+  nn::Parameter p("w", 128, 512);
+  Rng rng(4);
+  p.value.fill_gaussian(rng, 0.f, 0.1f);
+  auto opt = make();
+  opt->set_lr(1e-3f);
+  for (auto _ : state) {
+    p.grad.fill_gaussian(rng, 0.f, 0.1f);
+    opt->step({&p});
+  }
+}
+
+void BM_StepAdamW(benchmark::State& state) {
+  optimizer_step_bench(state,
+                       [] { return std::make_unique<optim::AdamW>(); });
+}
+BENCHMARK(BM_StepAdamW);
+
+void BM_StepGaLoreSvd(benchmark::State& state) {
+  optimizer_step_bench(state, [] {
+    optim::GaloreConfig cfg;
+    cfg.rank = 32;
+    cfg.update_freq = 10;
+    return optim::GaLore::galore(cfg);
+  });
+}
+BENCHMARK(BM_StepGaLoreSvd);
+
+void BM_StepApollo(benchmark::State& state) {
+  optimizer_step_bench(state, [] {
+    core::ApolloConfig cfg;
+    cfg.rank = 32;
+    cfg.update_freq = 10;
+    return core::Apollo::standard(cfg);
+  });
+}
+BENCHMARK(BM_StepApollo);
+
+void BM_StepApolloMini(benchmark::State& state) {
+  optimizer_step_bench(state, [] { return core::Apollo::mini(); });
+}
+BENCHMARK(BM_StepApolloMini);
+
+void BM_QuantizeGroup128(benchmark::State& state) {
+  Matrix m = random_matrix(256, 512, 5);
+  for (auto _ : state) {
+    auto q = GroupQuantized::quantize(m, 128);
+    benchmark::DoNotOptimize(q.bytes());
+  }
+  state.SetBytesProcessed(state.iterations() * m.size() * 4);
+}
+BENCHMARK(BM_QuantizeGroup128);
+
+void BM_TrainStep350MProxy(benchmark::State& state) {
+  nn::LlamaModel model(nn::llama_350m_proxy(), 42);
+  data::SyntheticCorpus corpus({});
+  data::BatchLoader loader(corpus, 4, model.config().seq_len, 7);
+  core::ApolloConfig cfg;
+  cfg.rank = 16;
+  auto opt = core::Apollo::standard(cfg);
+  opt->set_lr(0.01f);
+  std::vector<int32_t> ids, targets;
+  for (auto _ : state) {
+    loader.next(ids, targets);
+    model.zero_grads();
+    ag::Tape tape;
+    tape.backward(model.loss(tape, ids, targets));
+    opt->step(model.parameters());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * model.config().seq_len);
+}
+BENCHMARK(BM_TrainStep350MProxy);
+
+}  // namespace
+}  // namespace apollo
+
+BENCHMARK_MAIN();

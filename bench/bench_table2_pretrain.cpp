@@ -1,0 +1,86 @@
+// Table 2 reproduction: pre-training validation perplexity across the model
+// ladder (60M…1B proxies) for every memory-efficient training approach, with
+// the paper-scale memory column computed analytically over the real Table-8
+// shapes (weights + optimizer states, BF16).
+//
+// Expected shape (paper): APOLLO ≲ Fira < AdamW < GaLore < LoRA-family ≪
+// Low-Rank, with APOLLO robust to rank halving and APOLLO-Mini close behind
+// at a fraction of the memory.
+#include "exp_common.h"
+#include "sysmodel/memory_model.h"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+namespace {
+
+sysmodel::GpuModelSpec paper_spec(const std::string& label) {
+  if (label == "60M") return sysmodel::spec_llama_60m();
+  if (label == "130M") return sysmodel::spec_llama_130m();
+  if (label == "350M") return sysmodel::spec_llama_350m();
+  return sysmodel::spec_llama_1b();
+}
+
+sysmodel::MethodSpec method_spec(const std::string& name, int64_t hidden) {
+  sysmodel::MethodSpec ms;
+  ms.rank = hidden / 4;
+  if (name == "AdamW") ms.method = sysmodel::Method::kAdamW;
+  else if (name == "Low-Rank") ms.method = sysmodel::Method::kLowRank;
+  else if (name == "LoRA") ms.method = sysmodel::Method::kLora;
+  else if (name == "ReLoRA") ms.method = sysmodel::Method::kRelora;
+  else if (name == "GaLore") ms.method = sysmodel::Method::kGaLore;
+  else if (name == "Fira") ms.method = sysmodel::Method::kFira;
+  else if (name == "APOLLO w. SVD" || name == "APOLLO")
+    ms.method = sysmodel::Method::kApollo;
+  else if (name == "APOLLO (half rank)") {
+    ms.method = sysmodel::Method::kApollo;
+    ms.rank = hidden / 8;
+  } else {
+    ms.method = sysmodel::Method::kApolloMini;
+    ms.rank = 1;
+  }
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 2 — pre-training perplexity vs. memory "
+              "(nano proxies on synthetic C4; memory at paper scale)\n");
+  print_rule();
+
+  const auto ladder = table2_ladder();
+  const std::vector<Method> methods = {
+      m_adamw(),       m_lowrank(), m_lora(),        m_relora(),
+      m_galore(),      m_fira(),    m_apollo_svd(),  m_apollo(),
+      m_apollo_half(), m_apollo_mini(),
+  };
+
+  std::printf("%-20s", "Method");
+  for (const auto& size : ladder)
+    std::printf("  %8s ppl  %7s mem", size.label, size.label);
+  std::printf("\n");
+  print_rule(118);
+
+  for (const auto& method : methods) {
+    std::printf("%-20s", method.name.c_str());
+    std::fflush(stdout);
+    for (const auto& size : ladder) {
+      auto run = run_pretrain(method, size.config, steps(size.train_steps));
+      const auto spec = paper_spec(size.label);
+      const auto ms = method_spec(method.name, spec.hidden);
+      const auto mem = sysmodel::estimate_memory(spec, ms, 1);
+      const double gib =
+          static_cast<double>(mem.weights + mem.optimizer_states) /
+          (1024.0 * 1024.0 * 1024.0);
+      std::printf("  %12.2f  %10.2fG", run.result.final_perplexity, gib);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  print_rule(118);
+  std::printf("Per-method LR: AdamW-family tuned 3e-3; projected optimizers "
+              "use the paper's untuned 1e-2.\nRanks: hidden/4 "
+              "(half-rank row: hidden/8, APOLLO-Mini: 1).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Example: fine-tune a pre-trained backbone on downstream tasks with
+// memory-efficient optimizers — the Table 4 workflow on two tasks.
+//
+//   $ ./examples/finetune_tasks
+//
+// Demonstrates: pre-training a backbone, snapshot/restore between runs,
+// the TaskGenerator API, and accuracy evaluation restricted to choice sets.
+#include <cmath>
+#include <cstdio>
+
+#include "core/apollo.h"
+#include "optim/adamw.h"
+#include "optim/lowrank.h"
+#include "train/finetune.h"
+#include "train/trainer.h"
+
+using namespace apollo;
+
+int main() {
+  const auto cfg = nn::llama_130m_proxy();
+  data::SyntheticCorpus corpus({});
+
+  std::printf("Pre-training a 130M-proxy backbone (AdamW, 500 steps)...\n");
+  nn::LlamaModel backbone(cfg, 42);
+  {
+    optim::AdamW opt;
+    train::TrainConfig tc;
+    tc.steps = 500;
+    tc.batch = 4;
+    tc.lr = 3e-3f;
+    train::Trainer t(backbone, opt, corpus, tc);
+    auto r = t.run();
+    std::printf("  backbone validation ppl: %.2f\n\n", r.final_perplexity);
+  }
+  const auto snapshot = backbone.snapshot();
+
+  const data::CommonsenseTask tasks[] = {data::CommonsenseTask::kCopyLast,
+                                         data::CommonsenseTask::kAlternation};
+  struct Entry {
+    const char* label;
+    float lr;  // AdamW-family fine-tunes at 3e-3, projected methods at 1e-2
+    std::function<std::unique_ptr<optim::Optimizer>()> make;
+  };
+  const Entry entries[] = {
+      {"AdamW (full FT)", 3e-3f,
+       [] { return std::make_unique<optim::AdamW>(); }},
+      {"LoRA r=12", 3e-3f,
+       [&] {
+         optim::AdapterConfig c;
+         c.kind = optim::AdapterKind::kLora;
+         c.rank = cfg.hidden / 4;
+         return std::make_unique<optim::LowRankAdapter>(c);
+       }},
+      {"APOLLO r=12", 1e-2f,
+       [&] {
+         core::ApolloConfig c;
+         c.rank = cfg.hidden / 4;
+         return core::Apollo::standard(c);
+       }},
+      {"APOLLO-Mini r=1", 1e-2f,
+       [&] {
+         core::ApolloConfig c = core::ApolloConfig::mini();
+         c.scale = 2.f;  // the paper's fine-tuning alpha = sqrt(4)
+         return std::make_unique<core::Apollo>(c, "APOLLO-Mini");
+       }},
+  };
+
+  std::printf("%-18s", "Method");
+  for (auto t : tasks) std::printf(" %14s", data::task_name(t));
+  std::printf("\n");
+  for (const auto& e : entries) {
+    std::printf("%-18s", e.label);
+    for (auto task : tasks) {
+      backbone.restore(snapshot);
+      auto opt = e.make();
+      data::TaskGenerator gen(corpus, 100 + static_cast<uint64_t>(task));
+      data::TaskGenerator egen(corpus, 200 + static_cast<uint64_t>(task));
+      train::FinetuneConfig fc;
+      fc.steps = 400;
+      fc.batch = 16;
+      fc.lr = e.lr;
+      auto res = train::finetune(
+          backbone, *opt,
+          [&](int b) { return gen.make_commonsense_batch(task, b, cfg.seq_len); },
+          [&](int b) { return egen.make_commonsense_batch(task, b, cfg.seq_len); },
+          fc);
+      std::printf(" %13.1f%%", res.accuracy * 100);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(zero-shot accuracy on these tasks is near zero; pattern "
+              "tasks reach ~100%%, while pure-recall tasks like PIQA need "
+              "longer budgets for rank-1 APOLLO-Mini)\n");
+  return 0;
+}

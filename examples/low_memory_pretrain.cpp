@@ -1,0 +1,73 @@
+// Example: the extreme-memory recipe — Q-APOLLO-Mini (rank-1 tensor-wise
+// scaling + INT8 weight store with stochastic-rounding requantization),
+// i.e. the configuration behind the paper's "LLaMA-7B under 12 GB" claim,
+// exercised end-to-end at nano scale with real byte accounting.
+//
+//   $ ./examples/low_memory_pretrain
+#include <cstdio>
+
+#include "core/apollo.h"
+#include "core/quantized_weights.h"
+#include "optim/adamw.h"
+#include "sysmodel/memory_model.h"
+#include "train/trainer.h"
+
+using namespace apollo;
+
+int main() {
+  const auto cfg = nn::llama_350m_proxy();
+  data::SyntheticCorpus corpus({});
+
+  std::printf("== Q-APOLLO-Mini: rank-1 optimizer + INT8 weights ==\n\n");
+
+  // Full-precision AdamW reference.
+  double adamw_ppl;
+  int64_t adamw_state;
+  {
+    nn::LlamaModel model(cfg, 42);
+    optim::AdamW opt;
+    train::TrainConfig tc;
+    tc.steps = 400;
+    tc.batch = 4;
+    tc.lr = 3e-3f;
+    train::Trainer t(model, opt, corpus, tc);
+    auto r = t.run();
+    adamw_ppl = r.final_perplexity;
+    adamw_state = r.optimizer_state_bytes;
+  }
+
+  // Q-APOLLO-Mini.
+  nn::LlamaModel model(cfg, 42);
+  auto opt = core::Apollo::mini();
+  core::QuantizedWeightStore store(model.parameters(), /*seed=*/9);
+  train::TrainConfig tc;
+  tc.steps = 400;
+  tc.batch = 4;
+  tc.lr = 0.01f;
+  train::Trainer t(model, *opt, corpus, tc);
+  t.set_quantized_weights(&store);
+  auto r = t.run();
+
+  const int64_t fp_weight_bytes = model.param_count() * 4;
+  std::printf("%-22s %14s %14s\n", "", "AdamW fp32", "Q-APOLLO-Mini");
+  std::printf("%-22s %14.2f %14.2f\n", "validation ppl", adamw_ppl,
+              r.final_perplexity);
+  std::printf("%-22s %14lld %14lld\n", "weight bytes",
+              static_cast<long long>(fp_weight_bytes),
+              static_cast<long long>(store.weight_bytes()));
+  std::printf("%-22s %14lld %14lld\n", "optimizer state bytes",
+              static_cast<long long>(adamw_state),
+              static_cast<long long>(r.optimizer_state_bytes));
+
+  // What the same recipe means at true 7B scale.
+  sysmodel::MethodSpec ms;
+  ms.method = sysmodel::Method::kApolloMini;
+  ms.rank = 1;
+  ms.weight_bits = 8;
+  ms.layerwise_grad_update = true;
+  const auto b = sysmodel::estimate_memory(sysmodel::spec_llama_7b(), ms, 1);
+  std::printf("\nProjected to LLaMA-7B (micro-batch 1, layer-wise updates): "
+              "%.1f GiB total → fits a 12 GB consumer GPU.\n",
+              static_cast<double>(b.total()) / (1024.0 * 1024.0 * 1024.0));
+  return 0;
+}

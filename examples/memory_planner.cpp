@@ -1,0 +1,76 @@
+// Example: a planning tool built on the sysmodel library — given a GPU
+// memory budget and a model size, report which optimizers fit, at what
+// micro-batch, and the modeled training throughput. The kind of utility a
+// downstream adopter would actually run before renting hardware.
+//
+//   $ ./examples/memory_planner [gpu_gib] [model]
+//     model ∈ {60m, 130m, 350m, 1b, 7b, 13b}; defaults: 24 GiB, 7b
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sysmodel/throughput_model.h"
+
+using namespace apollo::sysmodel;
+
+int main(int argc, char** argv) {
+  const double gib = argc > 1 ? std::atof(argv[1]) : 24.0;
+  const char* name = argc > 2 ? argv[2] : "7b";
+  GpuModelSpec model = spec_llama_7b();
+  if (!std::strcmp(name, "60m")) model = spec_llama_60m();
+  else if (!std::strcmp(name, "130m")) model = spec_llama_130m();
+  else if (!std::strcmp(name, "350m")) model = spec_llama_350m();
+  else if (!std::strcmp(name, "1b")) model = spec_llama_1b();
+  else if (!std::strcmp(name, "13b")) model = spec_llama_13b();
+
+  const int64_t cap = static_cast<int64_t>(gib * 1024 * 1024 * 1024);
+  std::printf("Planning %s (%.2fB params) on a %.0f GiB GPU (micro-batch "
+              "at seq %lld)\n\n", model.name.c_str(),
+              model.param_count() / 1e9, gib,
+              static_cast<long long>(model.seq_len));
+
+  struct Option {
+    const char* label;
+    MethodSpec ms;
+  };
+  auto make = [&](Method m, int64_t rank, int wbits, bool layerwise) {
+    MethodSpec ms;
+    ms.method = m;
+    ms.rank = rank;
+    ms.weight_bits = wbits;
+    ms.layerwise_grad_update = layerwise;
+    return ms;
+  };
+  const int64_t r4 = model.hidden / 4;
+  const Option options[] = {
+      {"AdamW", make(Method::kAdamW, 0, 16, false)},
+      {"Adam-mini", make(Method::kAdamMini, 0, 16, false)},
+      {"GaLore r=h/4", make(Method::kGaLore, r4, 16, true)},
+      {"APOLLO r=h/4", make(Method::kApollo, r4, 16, true)},
+      {"APOLLO-Mini", make(Method::kApolloMini, 1, 16, true)},
+      {"Q-APOLLO-Mini", make(Method::kApolloMini, 1, 8, true)},
+  };
+
+  GpuSpec gpu;
+  gpu.n_gpus = 1;
+  gpu.mem_cap = cap;
+  std::printf("%-16s %12s %12s %14s\n", "Method", "fixed GiB",
+              "max batch", "tokens/s (1 GPU)");
+  for (const auto& o : options) {
+    const auto fixed = estimate_memory(model, o.ms, 0);
+    const int64_t batch = max_micro_batch(model, o.ms, cap);
+    double tps = 0;
+    if (batch > 0) {
+      const bool svd = o.ms.method == Method::kGaLore;
+      const auto t = end_to_end_throughput(model, o.ms, gpu, batch, svd, 200);
+      tps = t.tokens_per_s;
+    }
+    std::printf("%-16s %12.2f %12lld %14.0f%s\n", o.label,
+                static_cast<double>(fixed.total()) / (1024.0 * 1024 * 1024),
+                static_cast<long long>(batch), tps,
+                batch == 0 ? "   <- does not fit" : "");
+  }
+  std::printf("\n(fixed = weights + grads + optimizer states at batch 0; "
+              "APOLLO rows assume layer-wise gradient updates)\n");
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Rotary position embedding and fused causal multi-head self-attention.
+//
+// Activations are flattened (batch·seq_len)×dim; the batch structure is
+// recovered from seq_len. Attention saves the per-(sequence, head) softmax
+// probability matrices for backward, which is the dominant activation cost —
+// mirrored by the activation term of the sysmodel memory accounting.
+#include <cmath>
+
+#include "autograd/tape.h"
+#include "tensor/ops.h"
+
+namespace apollo::ag {
+
+namespace {
+
+// Precomputed rotation table: cos/sin for every (position, pair) of one
+// head (all heads share it).
+struct RopeTable {
+  int64_t half;  // head_dim / 2
+  std::vector<float> cosv, sinv;  // seq_len × half
+};
+
+RopeTable make_rope_table(int seq_len, int64_t head_dim, float base) {
+  RopeTable t;
+  t.half = head_dim / 2;
+  t.cosv.resize(static_cast<size_t>(seq_len) * t.half);
+  t.sinv.resize(static_cast<size_t>(seq_len) * t.half);
+  for (int64_t pos = 0; pos < seq_len; ++pos) {
+    for (int64_t i = 0; i < t.half; ++i) {
+      const double freq =
+          std::pow(static_cast<double>(base),
+                   -2.0 * static_cast<double>(i) / static_cast<double>(head_dim));
+      const double angle = static_cast<double>(pos) * freq;
+      t.cosv[static_cast<size_t>(pos * t.half + i)] =
+          static_cast<float>(std::cos(angle));
+      t.sinv[static_cast<size_t>(pos * t.half + i)] =
+          static_cast<float>(std::sin(angle));
+    }
+  }
+  return t;
+}
+
+// Rotate rows of x in place; sign=+1 forward, −1 for the adjoint.
+void apply_rope(Matrix& x, const RopeTable& tab, int n_heads, int seq_len,
+                float sign) {
+  const int64_t d = x.cols();
+  const int64_t head_dim = d / n_heads;
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const int64_t pos = r % seq_len;
+    float* row = x.row(r);
+    for (int h = 0; h < n_heads; ++h) {
+      float* hp = row + static_cast<int64_t>(h) * head_dim;
+      for (int64_t i = 0; i < tab.half; ++i) {
+        const float c = tab.cosv[static_cast<size_t>(pos * tab.half + i)];
+        const float s =
+            sign * tab.sinv[static_cast<size_t>(pos * tab.half + i)];
+        const float x0 = hp[2 * i], x1 = hp[2 * i + 1];
+        hp[2 * i] = x0 * c - x1 * s;
+        hp[2 * i + 1] = x0 * s + x1 * c;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Var Tape::rope(Var xv, int n_heads, int seq_len, float base) {
+  const Matrix& x = value(xv);
+  const int64_t d = x.cols();
+  APOLLO_CHECK(d % n_heads == 0);
+  const int64_t head_dim = d / n_heads;
+  APOLLO_CHECK(head_dim % 2 == 0);
+  APOLLO_CHECK(x.rows() % seq_len == 0);
+
+  auto tab = std::make_shared<RopeTable>(
+      make_rope_table(seq_len, head_dim, base));
+  Node n;
+  n.value = x;
+  apply_rope(n.value, *tab, n_heads, seq_len, +1.f);
+  n.requires_grad = requires_grad(xv);
+  Var out{static_cast<int32_t>(nodes_.size())};
+  if (n.requires_grad) {
+    n.backward = [xv, out, tab, n_heads, seq_len](Tape& t) {
+      // The rotation is orthogonal: the adjoint is the inverse rotation.
+      Matrix dy = t.grad(out);
+      apply_rope(dy, *tab, n_heads, seq_len, -1.f);
+      add_inplace(t.grad(xv), dy);
+    };
+  }
+  return push(std::move(n));
+}
+
+Var Tape::causal_attention(Var qv, Var kv, Var vv, int n_heads, int seq_len) {
+  const Matrix& q = value(qv);
+  const Matrix& k = value(kv);
+  const Matrix& v = value(vv);
+  APOLLO_CHECK(q.same_shape(k) && q.same_shape(v));
+  const int64_t T = q.rows(), d = q.cols();
+  APOLLO_CHECK(d % n_heads == 0 && T % seq_len == 0);
+  const int64_t head_dim = d / n_heads;
+  const int64_t batch = T / seq_len;
+  const float scale = 1.f / std::sqrt(static_cast<float>(head_dim));
+
+  Node n;
+  n.value = Matrix(T, d);
+  // probs[b·n_heads + h] is the seq_len×seq_len lower-triangular softmax.
+  auto probs = std::make_shared<std::vector<Matrix>>();
+  probs->reserve(static_cast<size_t>(batch * n_heads));
+
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t row0 = b * seq_len;
+    for (int h = 0; h < n_heads; ++h) {
+      const int64_t c0 = static_cast<int64_t>(h) * head_dim;
+      Matrix p(seq_len, seq_len);
+      for (int64_t i = 0; i < seq_len; ++i) {
+        const float* qi = q.row(row0 + i) + c0;
+        float* pi = p.row(i);
+        float mx = -1e30f;
+        for (int64_t j = 0; j <= i; ++j) {
+          const float* kj = k.row(row0 + j) + c0;
+          float acc = 0.f;
+          for (int64_t c = 0; c < head_dim; ++c) acc += qi[c] * kj[c];
+          acc *= scale;
+          pi[j] = acc;
+          mx = std::max(mx, acc);
+        }
+        double denom = 0;
+        for (int64_t j = 0; j <= i; ++j) {
+          pi[j] = std::exp(pi[j] - mx);
+          denom += pi[j];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (int64_t j = 0; j <= i; ++j) pi[j] *= inv;
+        // Output row = Σ_j p_ij · V_j
+        float* oi = n.value.row(row0 + i) + c0;
+        for (int64_t j = 0; j <= i; ++j) {
+          const float* vj = v.row(row0 + j) + c0;
+          const float pij = pi[j];
+          for (int64_t c = 0; c < head_dim; ++c) oi[c] += pij * vj[c];
+        }
+      }
+      n.extra_bytes += p.size() * static_cast<int64_t>(sizeof(float));
+      probs->push_back(std::move(p));
+    }
+  }
+
+  n.requires_grad = requires_grad(qv) || requires_grad(kv) || requires_grad(vv);
+  Var out{static_cast<int32_t>(nodes_.size())};
+  if (n.requires_grad) {
+    n.backward = [qv, kv, vv, out, probs, n_heads, seq_len, head_dim, batch,
+                  scale](Tape& t) {
+      const Matrix& dy = t.grad(out);
+      const Matrix& q = t.value(qv);
+      const Matrix& k = t.value(kv);
+      const Matrix& v = t.value(vv);
+      Matrix& dq = t.grad(qv);
+      Matrix& dk = t.grad(kv);
+      Matrix& dv = t.grad(vv);
+      std::vector<float> dp(static_cast<size_t>(seq_len));
+      for (int64_t b = 0; b < batch; ++b) {
+        const int64_t row0 = b * seq_len;
+        for (int h = 0; h < n_heads; ++h) {
+          const int64_t c0 = static_cast<int64_t>(h) * head_dim;
+          const Matrix& p = (*probs)[static_cast<size_t>(b * n_heads + h)];
+          for (int64_t i = 0; i < seq_len; ++i) {
+            const float* dyi = dy.row(row0 + i) + c0;
+            const float* pi = p.row(i);
+            // dV_j += p_ij · dy_i ;  dp_ij = dy_i · V_j
+            for (int64_t j = 0; j <= i; ++j) {
+              const float* vj = v.row(row0 + j) + c0;
+              float* dvj = dv.row(row0 + j) + c0;
+              float acc = 0.f;
+              const float pij = pi[j];
+              for (int64_t c = 0; c < head_dim; ++c) {
+                dvj[c] += pij * dyi[c];
+                acc += dyi[c] * vj[c];
+              }
+              dp[static_cast<size_t>(j)] = acc;
+            }
+            // Softmax backward: ds_ij = p_ij (dp_ij − Σ_l p_il dp_il)
+            double inner = 0;
+            for (int64_t j = 0; j <= i; ++j)
+              inner += static_cast<double>(pi[j]) * dp[static_cast<size_t>(j)];
+            const float* qi = q.row(row0 + i) + c0;
+            float* dqi = dq.row(row0 + i) + c0;
+            for (int64_t j = 0; j <= i; ++j) {
+              const float ds =
+                  pi[j] * (dp[static_cast<size_t>(j)] -
+                           static_cast<float>(inner)) *
+                  scale;
+              const float* kj = k.row(row0 + j) + c0;
+              float* dkj = dk.row(row0 + j) + c0;
+              for (int64_t c = 0; c < head_dim; ++c) {
+                dqi[c] += ds * kj[c];
+                dkj[c] += ds * qi[c];
+              }
+            }
+          }
+        }
+      }
+    };
+  }
+  return push(std::move(n));
+}
+
+}  // namespace apollo::ag

@@ -1,0 +1,181 @@
+// Neural-network ops: SiLU, RMSNorm, embedding gather, cross-entropy.
+#include <cmath>
+
+#include "autograd/tape.h"
+#include "tensor/ops.h"
+
+namespace apollo::ag {
+
+Var Tape::silu(Var a) {
+  const Matrix& x = value(a);
+  Node n;
+  n.value = Matrix(x.rows(), x.cols());
+  // Save σ(x) for backward: d/dx [x·σ(x)] = σ(x)·(1 + x·(1 − σ(x))).
+  auto sig = std::make_shared<Matrix>(x.rows(), x.cols());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const float s = 1.f / (1.f + std::exp(-x[i]));
+    (*sig)[i] = s;
+    n.value[i] = x[i] * s;
+  }
+  n.extra_bytes = sig->size() * static_cast<int64_t>(sizeof(float));
+  n.requires_grad = requires_grad(a);
+  Var out{static_cast<int32_t>(nodes_.size())};
+  if (n.requires_grad) {
+    n.backward = [a, out, sig](Tape& t) {
+      const Matrix& dy = t.grad(out);
+      const Matrix& x = t.value(a);
+      Matrix& dx = t.grad(a);
+      for (int64_t i = 0; i < x.size(); ++i) {
+        const float s = (*sig)[i];
+        dx[i] += dy[i] * s * (1.f + x[i] * (1.f - s));
+      }
+    };
+  }
+  return push(std::move(n));
+}
+
+Var Tape::rmsnorm(Var xv, Var wv, float eps) {
+  const Matrix& x = value(xv);
+  const Matrix& w = value(wv);
+  APOLLO_CHECK(w.rows() == 1 && w.cols() == x.cols());
+  const int64_t rows = x.rows(), n = x.cols();
+
+  Node nd;
+  nd.value = Matrix(rows, n);
+  auto inv_rms = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.row(r);
+    double ss = 0;
+    for (int64_t c = 0; c < n; ++c) ss += static_cast<double>(xr[c]) * xr[c];
+    const float ir = 1.f / std::sqrt(static_cast<float>(ss / n) + eps);
+    (*inv_rms)[static_cast<size_t>(r)] = ir;
+    float* yr = nd.value.row(r);
+    for (int64_t c = 0; c < n; ++c) yr[c] = xr[c] * ir * w[c];
+  }
+  nd.extra_bytes = rows * static_cast<int64_t>(sizeof(float));
+  nd.requires_grad = requires_grad(xv) || requires_grad(wv);
+  Var out{static_cast<int32_t>(nodes_.size())};
+  if (nd.requires_grad) {
+    nd.backward = [xv, wv, out, inv_rms, eps](Tape& t) {
+      (void)eps;
+      const Matrix& dy = t.grad(out);
+      const Matrix& x = t.value(xv);
+      const Matrix& w = t.value(wv);
+      const int64_t rows = x.rows(), n = x.cols();
+      const bool need_dx = t.requires_grad(xv);
+      const bool need_dw = t.requires_grad(wv);
+      Matrix* dx = need_dx ? &t.grad(xv) : nullptr;
+      Matrix* dw = need_dw ? &t.grad(wv) : nullptr;
+      for (int64_t r = 0; r < rows; ++r) {
+        const float ir = (*inv_rms)[static_cast<size_t>(r)];
+        const float* xr = x.row(r);
+        const float* dyr = dy.row(r);
+        if (need_dw) {
+          float* dwp = dw->row(0);
+          for (int64_t c = 0; c < n; ++c) dwp[c] += dyr[c] * xr[c] * ir;
+        }
+        if (need_dx) {
+          // y = x̂ ⊙ w with x̂ = x·ir, ir = (mean(x²)+eps)^{-1/2}.
+          // dx = ir·(w⊙dy) − x·ir³·(Σ_c w_c dy_c x_c)/n
+          double dot = 0;
+          for (int64_t c = 0; c < n; ++c)
+            dot += static_cast<double>(w[c]) * dyr[c] * xr[c];
+          const float coef =
+              static_cast<float>(dot) * ir * ir * ir / static_cast<float>(n);
+          float* dxr = dx->row(r);
+          for (int64_t c = 0; c < n; ++c)
+            dxr[c] += w[c] * dyr[c] * ir - xr[c] * coef;
+        }
+      }
+    };
+  }
+  return push(std::move(nd));
+}
+
+Var Tape::embedding(Var table, std::vector<int32_t> ids) {
+  const Matrix& tab = value(table);
+  const int64_t T = static_cast<int64_t>(ids.size()), d = tab.cols();
+  Node n;
+  n.value = Matrix(T, d);
+  for (int64_t t = 0; t < T; ++t) {
+    const int32_t id = ids[static_cast<size_t>(t)];
+    APOLLO_CHECK(id >= 0 && id < tab.rows());
+    const float* src = tab.row(id);
+    float* dst = n.value.row(t);
+    for (int64_t c = 0; c < d; ++c) dst[c] = src[c];
+  }
+  n.requires_grad = requires_grad(table);
+  Var out{static_cast<int32_t>(nodes_.size())};
+  if (n.requires_grad) {
+    auto ids_sp = std::make_shared<std::vector<int32_t>>(std::move(ids));
+    n.backward = [table, out, ids_sp](Tape& t) {
+      const Matrix& dy = t.grad(out);
+      Matrix& dtab = t.grad(table);
+      const int64_t d = dtab.cols();
+      for (int64_t r = 0; r < dy.rows(); ++r) {
+        float* dst = dtab.row((*ids_sp)[static_cast<size_t>(r)]);
+        const float* src = dy.row(r);
+        for (int64_t c = 0; c < d; ++c) dst[c] += src[c];
+      }
+    };
+  }
+  return push(std::move(n));
+}
+
+Var Tape::cross_entropy(Var logits, std::vector<int32_t> targets) {
+  const Matrix& z = value(logits);
+  APOLLO_CHECK(static_cast<int64_t>(targets.size()) == z.rows());
+  const int64_t T = z.rows(), V = z.cols();
+
+  Node n;
+  n.value = Matrix(1, 1);
+  // Save softmax probabilities for backward.
+  auto probs = std::make_shared<Matrix>(T, V);
+  double loss = 0;
+  int64_t count = 0;
+  for (int64_t t = 0; t < T; ++t) {
+    const float* zr = z.row(t);
+    float mx = zr[0];
+    for (int64_t v = 1; v < V; ++v) mx = std::max(mx, zr[v]);
+    double denom = 0;
+    float* pr = probs->row(t);
+    for (int64_t v = 0; v < V; ++v) {
+      const float e = std::exp(zr[v] - mx);
+      pr[v] = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t v = 0; v < V; ++v) pr[v] *= inv;
+    const int32_t tgt = targets[static_cast<size_t>(t)];
+    if (tgt < 0) continue;
+    APOLLO_CHECK(tgt < V);
+    loss += -std::log(std::max(1e-30, static_cast<double>(pr[tgt])));
+    ++count;
+  }
+  APOLLO_CHECK_MSG(count > 0, "cross_entropy: all targets ignored");
+  n.value[0] = static_cast<float>(loss / static_cast<double>(count));
+  n.extra_bytes = probs->size() * static_cast<int64_t>(sizeof(float));
+  n.requires_grad = requires_grad(logits);
+  Var out{static_cast<int32_t>(nodes_.size())};
+  if (n.requires_grad) {
+    auto tgt_sp = std::make_shared<std::vector<int32_t>>(std::move(targets));
+    n.backward = [logits, out, probs, tgt_sp, count](Tape& t) {
+      const float dloss = t.grad(out)[0];
+      Matrix& dz = t.grad(logits);
+      const int64_t T = dz.rows(), V = dz.cols();
+      const float scale = dloss / static_cast<float>(count);
+      for (int64_t r = 0; r < T; ++r) {
+        const int32_t tgt = (*tgt_sp)[static_cast<size_t>(r)];
+        if (tgt < 0) continue;
+        const float* pr = probs->row(r);
+        float* dzr = dz.row(r);
+        for (int64_t v = 0; v < V; ++v) dzr[v] += scale * pr[v];
+        dzr[tgt] -= scale;
+      }
+    };
+  }
+  return push(std::move(n));
+}
+
+}  // namespace apollo::ag

@@ -1,0 +1,177 @@
+// Core tape mechanics + linear-algebra ops. Neural-network specific ops live
+// in ops_nn.cpp and ops_attention.cpp.
+#include "autograd/tape.h"
+
+#include "tensor/ops.h"
+
+namespace apollo::ag {
+
+Var Tape::push(Node n) {
+  nodes_.push_back(std::move(n));
+  return Var{static_cast<int32_t>(nodes_.size() - 1)};
+}
+
+Var Tape::leaf(const Matrix* value, Matrix* grad) {
+  APOLLO_CHECK(value != nullptr);
+  Node n;
+  n.ext_value = value;
+  n.ext_grad = grad;
+  n.requires_grad = grad != nullptr;
+  if (grad != nullptr) {
+    APOLLO_CHECK_MSG(grad->rows() == value->rows() &&
+                         grad->cols() == value->cols(),
+                     "leaf grad must be pre-sized to match value");
+  }
+  return push(std::move(n));
+}
+
+Var Tape::constant(Matrix value) {
+  Node n;
+  n.value = std::move(value);
+  n.requires_grad = false;
+  return push(std::move(n));
+}
+
+const Matrix& Tape::value(Var v) const {
+  const Node& n = node(v);
+  return n.ext_value != nullptr ? *n.ext_value : n.value;
+}
+
+bool Tape::requires_grad(Var v) const { return node(v).requires_grad; }
+
+Matrix& Tape::grad(Var v) {
+  Node& n = node(v);
+  if (n.ext_grad != nullptr) return *n.ext_grad;
+  if (!n.grad_ready) {
+    const Matrix& val = value(v);
+    n.grad.reshape_discard(val.rows(), val.cols());
+    n.grad_ready = true;
+  }
+  return n.grad;
+}
+
+int64_t Tape::activation_bytes() const {
+  int64_t total = 0;
+  for (const Node& n : nodes_)
+    total += n.value.size() * static_cast<int64_t>(sizeof(float)) +
+             n.extra_bytes;
+  return total;
+}
+
+void Tape::backward(Var loss, float seed) {
+  APOLLO_CHECK_MSG(value(loss).size() == 1, "loss must be a scalar");
+  grad(loss).fill(seed);
+  for (int32_t id = loss.id; id >= 0; --id) {
+    Node& n = nodes_[static_cast<size_t>(id)];
+    if (!n.requires_grad || !n.backward) continue;
+    // Skip nodes whose gradient was never touched (dead branches).
+    if (n.ext_grad == nullptr && !n.grad_ready) continue;
+    n.backward(*this);
+  }
+}
+
+Var Tape::matmul(Var a, Var b) {
+  Node n;
+  n.value = apollo::matmul(value(a), value(b));
+  n.requires_grad = requires_grad(a) || requires_grad(b);
+  Var out{static_cast<int32_t>(nodes_.size())};
+  if (n.requires_grad) {
+    n.backward = [a, b, out](Tape& t) {
+      const Matrix& dc = t.grad(out);
+      if (t.requires_grad(a)) apollo::matmul_bt(t.grad(a), dc, t.value(b), true);
+      if (t.requires_grad(b)) apollo::matmul_at(t.grad(b), t.value(a), dc, true);
+    };
+  }
+  return push(std::move(n));
+}
+
+Var Tape::matmul_bt(Var a, Var b) {
+  Node n;
+  n.value = apollo::matmul_bt(value(a), value(b));
+  n.requires_grad = requires_grad(a) || requires_grad(b);
+  Var out{static_cast<int32_t>(nodes_.size())};
+  if (n.requires_grad) {
+    n.backward = [a, b, out](Tape& t) {
+      const Matrix& dc = t.grad(out);  // m×n where C = A(m×k)·Bᵀ(k×n)
+      if (t.requires_grad(a)) apollo::matmul(t.grad(a), dc, t.value(b), true);
+      if (t.requires_grad(b)) apollo::matmul_at(t.grad(b), dc, t.value(a), true);
+    };
+  }
+  return push(std::move(n));
+}
+
+Var Tape::add(Var a, Var b) {
+  APOLLO_CHECK(value(a).same_shape(value(b)));
+  Node n;
+  n.value = value(a);
+  add_inplace(n.value, value(b));
+  n.requires_grad = requires_grad(a) || requires_grad(b);
+  Var out{static_cast<int32_t>(nodes_.size())};
+  if (n.requires_grad) {
+    n.backward = [a, b, out](Tape& t) {
+      const Matrix& dc = t.grad(out);
+      if (t.requires_grad(a)) add_inplace(t.grad(a), dc);
+      if (t.requires_grad(b)) add_inplace(t.grad(b), dc);
+    };
+  }
+  return push(std::move(n));
+}
+
+Var Tape::mul(Var a, Var b) {
+  APOLLO_CHECK(value(a).same_shape(value(b)));
+  Node n;
+  n.value = value(a);
+  hadamard_inplace(n.value, value(b));
+  n.requires_grad = requires_grad(a) || requires_grad(b);
+  Var out{static_cast<int32_t>(nodes_.size())};
+  if (n.requires_grad) {
+    n.backward = [a, b, out](Tape& t) {
+      const Matrix& dc = t.grad(out);
+      if (t.requires_grad(a)) {
+        Matrix tmp = dc;
+        hadamard_inplace(tmp, t.value(b));
+        add_inplace(t.grad(a), tmp);
+      }
+      if (t.requires_grad(b)) {
+        Matrix tmp = dc;
+        hadamard_inplace(tmp, t.value(a));
+        add_inplace(t.grad(b), tmp);
+      }
+    };
+  }
+  return push(std::move(n));
+}
+
+Var Tape::scale(Var a, float s) {
+  Node n;
+  n.value = value(a);
+  scale_inplace(n.value, s);
+  n.requires_grad = requires_grad(a);
+  Var out{static_cast<int32_t>(nodes_.size())};
+  if (n.requires_grad) {
+    n.backward = [a, s, out](Tape& t) { axpy(t.grad(a), s, t.grad(out)); };
+  }
+  return push(std::move(n));
+}
+
+Var Tape::dot(Var a, Matrix weights) {
+  const Matrix& x = value(a);
+  APOLLO_CHECK(x.same_shape(weights));
+  Node n;
+  n.value = Matrix(1, 1);
+  double acc = 0;
+  for (int64_t i = 0; i < x.size(); ++i)
+    acc += static_cast<double>(x[i]) * weights[i];
+  n.value[0] = static_cast<float>(acc);
+  n.requires_grad = requires_grad(a);
+  Var out{static_cast<int32_t>(nodes_.size())};
+  if (n.requires_grad) {
+    auto w = std::make_shared<Matrix>(std::move(weights));
+    n.backward = [a, out, w](Tape& t) {
+      axpy(t.grad(a), t.grad(out)[0], *w);
+    };
+  }
+  return push(std::move(n));
+}
+
+}  // namespace apollo::ag

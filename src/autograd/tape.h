@@ -1,0 +1,114 @@
+// Tape-based reverse-mode automatic differentiation over Matrix.
+//
+// A Tape is rebuilt every training step: parameters enter as *leaf* vars that
+// reference external value/grad storage (owned by the nn::Model), ops append
+// nodes that own their forward values and a backward closure, and
+// backward(loss) runs the closures in reverse topological (= insertion)
+// order. The op set is exactly what a LLaMA-style decoder needs; every op's
+// backward is validated against central finite differences in
+// tests/autograd_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace apollo::ag {
+
+// Opaque handle to a tape node.
+struct Var {
+  int32_t id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // --- graph construction -------------------------------------------------
+
+  // Trainable leaf: `value` is read during forward, gradients are
+  // *accumulated* into `grad` (caller sizes and zeroes it).
+  Var leaf(const Matrix* value, Matrix* grad);
+
+  // Non-trainable input (owned copy, no gradient).
+  Var constant(Matrix value);
+
+  // C = A·B
+  Var matmul(Var a, Var b);
+  // C = A·Bᵀ — the Linear-layer product for weights stored (out, in).
+  Var matmul_bt(Var a, Var b);
+  // C = A + B (same shape)
+  Var add(Var a, Var b);
+  // C = A ⊙ B (same shape)
+  Var mul(Var a, Var b);
+  // C = s·A
+  Var scale(Var a, float s);
+  // SiLU activation x·σ(x) (LLaMA MLP nonlinearity).
+  Var silu(Var a);
+  // Row-wise RMSNorm with learned gain: y_i = x_i / rms(x_i) ⊙ w, w is 1×n.
+  Var rmsnorm(Var x, Var weight, float eps = 1e-6f);
+  // Gather rows of `table` (vocab×dim) by token id → (T×dim).
+  Var embedding(Var table, std::vector<int32_t> ids);
+  // Rotary position embedding applied per head; positions restart every
+  // `seq_len` rows (inputs are (batch·seq_len)×dim).
+  Var rope(Var x, int n_heads, int seq_len, float base = 10000.f);
+  // Causal multi-head self-attention over flattened (batch·seq_len)×dim
+  // Q, K, V. Softmax probabilities are saved for backward.
+  Var causal_attention(Var q, Var k, Var v, int n_heads, int seq_len);
+  // Mean token cross-entropy of logits (T×V) against targets (−1 = ignore).
+  // Returns a 1×1 var.
+  Var cross_entropy(Var logits, std::vector<int32_t> targets);
+  // Scalar ⟨a, w⟩ with a fixed weight matrix — the reduce-to-scalar used by
+  // gradient-checking tests and diagnostic probes.
+  Var dot(Var a, Matrix weights);
+
+  // --- execution -----------------------------------------------------------
+
+  // Seed d(loss) = `seed` and run all backward closures. `loss` must be
+  // 1×1. A seed of 1/k implements mean-reduction over k gradient-
+  // accumulation micro-batches.
+  void backward(Var loss, float seed = 1.f);
+
+  const Matrix& value(Var v) const;
+  // Gradient of a node (lazily allocated, zero-initialized). For leaves this
+  // is the external grad matrix.
+  Matrix& grad(Var v);
+  bool requires_grad(Var v) const;
+
+  size_t node_count() const { return nodes_.size(); }
+  // Total bytes held by forward values + saved attention probabilities —
+  // feeds the activation-memory sanity checks.
+  int64_t activation_bytes() const;
+
+ private:
+  struct Node {
+    Matrix value;                   // owned forward value (unused for leaves)
+    const Matrix* ext_value = nullptr;
+    Matrix* ext_grad = nullptr;     // leaf gradient sink
+    Matrix grad;                    // interior gradient (lazy)
+    bool grad_ready = false;        // interior grad allocated+zeroed?
+    bool requires_grad = false;
+    int64_t extra_bytes = 0;        // saved tensors beyond `value`
+    std::function<void(Tape&)> backward;
+  };
+
+  Var push(Node n);
+  Node& node(Var v) {
+    APOLLO_DCHECK(v.valid() && v.id < static_cast<int32_t>(nodes_.size()));
+    return nodes_[static_cast<size_t>(v.id)];
+  }
+  const Node& node(Var v) const {
+    APOLLO_DCHECK(v.valid() && v.id < static_cast<int32_t>(nodes_.size()));
+    return nodes_[static_cast<size_t>(v.id)];
+  }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace apollo::ag

@@ -1,0 +1,187 @@
+#include "core/apollo.h"
+
+#include "tensor/serialize.h"
+
+#include "linalg/svd.h"
+#include "tensor/ops.h"
+
+namespace apollo::core {
+
+Apollo::Apollo(const ApolloConfig& cfg, std::string display_name)
+    : cfg_(cfg), display_name_(std::move(display_name)), dense_(cfg.hyper),
+      seeder_(cfg.seed) {
+  APOLLO_CHECK(cfg.rank >= 1);
+  if (display_name_.empty()) {
+    display_name_ = cfg.granularity == ScalingGranularity::kTensor &&
+                            cfg.rank == 1
+                        ? "APOLLO-Mini"
+                        : "APOLLO";
+  }
+}
+
+void Apollo::step(const nn::ParamList& params) {
+  ++t_;
+  for (nn::Parameter* p : params) {
+    // Rank-1 auxiliary space is meaningful for any matrix, so only 1-D
+    // parameters take the dense fallback (plus degenerate tiny matrices for
+    // ranks > smallest dim).
+    if (!p->matrix_shaped ||
+        std::min(p->value.rows(), p->value.cols()) < cfg_.rank) {
+      dense_.update(p, p->value, p->grad, lr_, t_);
+      continue;
+    }
+    update_matrix_param(p);
+  }
+}
+
+void Apollo::update_matrix_param(nn::Parameter* p) {
+  State& s = states_[p];
+  const Matrix& g = p->grad;
+  const int64_t r = cfg_.rank;
+
+  if (s.local_t == 0) {
+    s.side = natural_side(g.rows(), g.cols());
+    s.proj_seed = seeder_.split();
+  }
+  const bool refresh = s.local_t % cfg_.update_freq == 0;
+  ++s.local_t;
+
+  // Step 1: project the gradient into the rank-r auxiliary space.
+  Matrix rg;
+  if (cfg_.proj == optim::ProjKind::kRandom) {
+    if (refresh && s.local_t > 1) s.proj_seed = seeder_.split();
+    const int64_t small_dim =
+        s.side == ProjectionSide::kLeft ? g.rows() : g.cols();
+    // Regenerated from the seed every step — never stored.
+    Matrix proj = gaussian_projection(r, small_dim, s.proj_seed);
+    rg = project(g, proj, s.side);
+  } else {
+    if (refresh) {
+      s.svd_projector = s.side == ProjectionSide::kLeft
+                            ? svd_left_projector(g, r)
+                            : svd_right_projector(g, r);
+    }
+    rg = project(g, s.svd_projector, s.side);
+  }
+
+  // Step 2: AdamW moments in the auxiliary space only.
+  if (s.m.size() == 0) {
+    s.m.reshape_discard(rg.rows(), rg.cols());
+    s.v.reshape_discard(rg.rows(), rg.cols());
+  }
+  const float b1 = cfg_.hyper.beta1, b2 = cfg_.hyper.beta2;
+  const float bc1 = 1.f - std::pow(b1, static_cast<float>(s.local_t));
+  const float bc2 = 1.f - std::pow(b2, static_cast<float>(s.local_t));
+  Matrix rtilde(rg.rows(), rg.cols());
+  for (int64_t i = 0; i < rg.size(); ++i) {
+    s.m[i] = b1 * s.m[i] + (1.f - b1) * rg[i];
+    s.v[i] = b2 * s.v[i] + (1.f - b2) * rg[i] * rg[i];
+    rtilde[i] =
+        (s.m[i] / bc1) / (std::sqrt(s.v[i] / bc2) + cfg_.hyper.eps);
+  }
+
+  // Step 3: structured scaling factors from the compressed space.
+  Matrix update = g;
+  if (cfg_.granularity == ScalingGranularity::kChannel) {
+    std::vector<float> num, den;
+    if (s.side == ProjectionSide::kLeft) {
+      num = col_norms(rtilde);
+      den = col_norms(rg);
+    } else {
+      num = row_norms(rtilde);
+      den = row_norms(rg);
+    }
+    std::vector<float>& sf = s.last_scaling;
+    sf.resize(num.size());
+    for (size_t j = 0; j < sf.size(); ++j)
+      sf[j] = den[j] > 1e-30f ? num[j] / den[j] : 0.f;
+    if (s.side == ProjectionSide::kLeft)
+      scale_cols_inplace(update, sf);
+    else
+      scale_rows_inplace(update, sf);
+  } else {
+    const double num = frobenius_norm(rtilde);
+    const double den = frobenius_norm(rg);
+    const float sf = den > 1e-30 ? static_cast<float>(num / den) : 0.f;
+    s.last_scaling.assign(1, sf);
+    scale_inplace(update, sf);
+  }
+
+  if (cfg_.use_norm_limiter) s.limiter.apply(update);
+
+  // Step 4: update the weight in the original space (decoupled decay).
+  const float wd = cfg_.hyper.weight_decay;
+  const float eta = lr_ * cfg_.scale;
+  for (int64_t i = 0; i < p->value.size(); ++i)
+    p->value[i] -= eta * update[i] + lr_ * wd * p->value[i];
+}
+
+int64_t Apollo::state_bytes() const {
+  int64_t b = dense_.state_bytes();
+  for (const auto& [k, s] : states_) {
+    b += (s.m.size() + s.v.size()) * static_cast<int64_t>(sizeof(float));
+    b += s.svd_projector.size() * static_cast<int64_t>(sizeof(float));
+    b += 8;  // projection seed
+    if (cfg_.use_norm_limiter)
+      b += optim::NormGrowthLimiter::state_floats() *
+           static_cast<int64_t>(sizeof(float));
+  }
+  return b;
+}
+
+bool Apollo::save_state(std::FILE* f, const nn::ParamList& params) const {
+  const Rng::State rs = seeder_.state();
+  if (!write_pod(f, t_) || !write_pod(f, rs)) return false;
+  for (const nn::Parameter* p : params) {
+    auto it = states_.find(p);
+    const uint8_t present = it != states_.end() ? 1 : 0;
+    if (!write_pod(f, present)) return false;
+    if (!present) continue;
+    const State& s = it->second;
+    const uint8_t side = s.side == ProjectionSide::kLeft ? 0 : 1;
+    const double nl = s.limiter.tracked_norm();
+    if (!write_pod(f, side) || !write_pod(f, s.proj_seed) ||
+        !write_pod(f, s.local_t) || !write_pod(f, nl) ||
+        !write_matrix(f, s.svd_projector) || !write_matrix(f, s.m) ||
+        !write_matrix(f, s.v))
+      return false;
+  }
+  std::vector<const void*> keys;
+  for (const nn::Parameter* p : params) keys.push_back(p);
+  return dense_.save(f, keys);
+}
+
+bool Apollo::load_state(std::FILE* f, const nn::ParamList& params) {
+  Rng::State rs;
+  if (!read_pod(f, t_) || !read_pod(f, rs)) return false;
+  seeder_.set_state(rs);
+  states_.clear();
+  for (const nn::Parameter* p : params) {
+    uint8_t present = 0;
+    if (!read_pod(f, present)) return false;
+    if (!present) continue;
+    State& s = states_[p];
+    uint8_t side = 0;
+    double nl = -1.0;
+    if (!read_pod(f, side) || !read_pod(f, s.proj_seed) ||
+        !read_pod(f, s.local_t) || !read_pod(f, nl) ||
+        !read_matrix(f, s.svd_projector) || !read_matrix(f, s.m) ||
+        !read_matrix(f, s.v))
+      return false;
+    s.side = side == 0 ? ProjectionSide::kLeft : ProjectionSide::kRight;
+    s.limiter = optim::NormGrowthLimiter(cfg_.nl_gamma);
+    s.limiter.set_tracked_norm(nl);
+  }
+  std::vector<const void*> keys;
+  for (const nn::Parameter* p : params) keys.push_back(p);
+  return dense_.load(f, keys);
+}
+
+const std::vector<float>* Apollo::last_scaling(
+    const nn::Parameter* p) const {
+  auto it = states_.find(p);
+  if (it == states_.end() || it->second.last_scaling.empty()) return nullptr;
+  return &it->second.last_scaling;
+}
+
+}  // namespace apollo::core

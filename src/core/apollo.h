@@ -1,0 +1,114 @@
+// APOLLO — Approximated Gradient Scaling for Memory-Efficient LLM
+// Optimization (Algorithm 1 of the paper). This is the repository's primary
+// contribution.
+//
+// Per 2-D weight W (gradient G, shape m×n with channels along the larger
+// dimension):
+//   1. R = P·G with P ∈ R^{r×m}, entries N(0, 1/r), regenerated every step
+//      from an 8-byte seed that is re-drawn every `update_freq` steps
+//      (SVD-free; nothing but the seed is stored).
+//   2. AdamW moments are maintained only for R:  Mᴿ, Vᴿ ∈ R^{r×n}.
+//   3. The structured gradient-scaling factor is computed in the compressed
+//      space — channel-wise  sⱼ = ‖R̃[:,j]‖/‖R[:,j]‖ (APOLLO) or tensor-wise
+//      s = ‖R̃‖/‖R‖ (APOLLO-Mini), with R̃ = M̂ᴿ/(√V̂ᴿ+ε).
+//   4. The *raw full-rank* gradient is scaled: update = α·G·diag(s) (or
+//      α·s·G), passed through the norm-growth limiter, and applied with
+//      decoupled weight decay.
+//
+// Optimizer state per weight: 2·n·r floats + seed + limiter norm — the
+// "2nr + 2" entry of Table 1. APOLLO-Mini (r = 1, tensor granularity,
+// α = √128) reduces this to 2n + 2: SGD-level memory.
+//
+// The `proj = kSvd` variant ("APOLLO w. SVD") stores a top-r singular-vector
+// projector refreshed every T steps, used by the Fig. 5 projection ablation.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/projection.h"
+#include "optim/dense_adam.h"
+#include "optim/galore.h"  // ProjKind
+#include "optim/norm_limiter.h"
+#include "optim/optimizer.h"
+
+namespace apollo::core {
+
+enum class ScalingGranularity { kChannel, kTensor };
+
+struct ApolloConfig {
+  int64_t rank = 4;
+  ScalingGranularity granularity = ScalingGranularity::kChannel;
+  optim::ProjKind proj = optim::ProjKind::kRandom;
+  float scale = 1.f;       // α (√(n/r) folded into the LR by default)
+  int update_freq = 200;   // T: projection re-seed / SVD refresh period
+  bool use_norm_limiter = true;
+  float nl_gamma = 1.01f;
+  optim::AdamHyper hyper;
+  uint64_t seed = 4242;
+
+  // APOLLO-Mini: rank-1 auxiliary space, tensor-wise scaling, α = √128.
+  static ApolloConfig mini() {
+    ApolloConfig c;
+    c.rank = 1;
+    c.granularity = ScalingGranularity::kTensor;
+    c.scale = std::sqrt(128.f);
+    return c;
+  }
+};
+
+class Apollo : public optim::Optimizer {
+ public:
+  explicit Apollo(const ApolloConfig& cfg, std::string display_name = "");
+
+  void step(const nn::ParamList& params) override;
+  std::string name() const override { return display_name_; }
+  int64_t state_bytes() const override;
+
+  // Exact-resume serialization: auxiliary moments, projection seeds, step
+  // counters and limiter norms (plus the dense fallback's moments).
+  bool save_state(std::FILE* f, const nn::ParamList& params) const override;
+  bool load_state(std::FILE* f, const nn::ParamList& params) override;
+
+  // Instrumentation for the Fig. 4 / Fig. 8 reproduction: the channel-wise
+  // scaling factors computed at the most recent step for `p` (empty until
+  // the first step, or if `p` took the dense fallback).
+  const std::vector<float>* last_scaling(const nn::Parameter* p) const;
+
+  static std::unique_ptr<Apollo> standard(ApolloConfig cfg) {
+    return std::make_unique<Apollo>(cfg, "APOLLO");
+  }
+  static std::unique_ptr<Apollo> with_svd(ApolloConfig cfg) {
+    cfg.proj = optim::ProjKind::kSvd;
+    return std::make_unique<Apollo>(cfg, "APOLLO w. SVD");
+  }
+  static std::unique_ptr<Apollo> mini(uint64_t seed = 4242) {
+    ApolloConfig c = ApolloConfig::mini();
+    c.seed = seed;
+    return std::make_unique<Apollo>(c, "APOLLO-Mini");
+  }
+
+ private:
+  struct State {
+    ProjectionSide side = ProjectionSide::kLeft;
+    uint64_t proj_seed = 0;
+    Matrix svd_projector;  // only for the kSvd ablation
+    Matrix m, v;           // auxiliary low-rank moments
+    int64_t local_t = 0;
+    optim::NormGrowthLimiter limiter;
+    std::vector<float> last_scaling;  // instrumentation
+  };
+
+  void update_matrix_param(nn::Parameter* p);
+
+  ApolloConfig cfg_;
+  std::string display_name_;
+  optim::DenseAdamCore dense_;  // 1-D fallback (norm gains)
+  std::unordered_map<const nn::Parameter*, State> states_;
+  Rng seeder_;
+};
+
+}  // namespace apollo::core

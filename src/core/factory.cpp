@@ -1,0 +1,116 @@
+#include "core/factory.h"
+
+#include "core/apollo.h"
+#include "core/structured_adamw.h"
+#include "optim/adafactor.h"
+#include "optim/adam8bit.h"
+#include "optim/adam_mini.h"
+#include "optim/adamw.h"
+#include "optim/adamw_bf16.h"
+#include "optim/galore.h"
+#include "optim/lowrank.h"
+#include "optim/sgd.h"
+
+namespace apollo::core {
+
+const std::vector<std::string>& known_optimizers() {
+  static const std::vector<std::string> names = {
+      "adamw",       "adamw-bf16",  "sgd",         "sgd-momentum", "adam-mini",
+      "adam8bit",    "adafactor",   "galore",       "galore-rp",
+      "galore8bit",  "golore",      "fira",        "flora",        "lora",
+      "relora",      "dora",        "lowrank",      "apollo",
+      "apollo-svd",  "apollo-mini", "structured-channel",
+      "structured-tensor",
+  };
+  return names;
+}
+
+float default_lr(const std::string& name) {
+  if (name.rfind("sgd", 0) == 0) return 5e-2f;
+  if (name.rfind("galore", 0) == 0 || name == "golore" || name == "fira" ||
+      name == "flora" || name.rfind("apollo", 0) == 0)
+    return 1e-2f;
+  return 3e-3f;  // AdamW family, adapters, structured variants
+}
+
+std::unique_ptr<optim::Optimizer> make_optimizer(const std::string& name,
+                                                 const FactoryOptions& o) {
+  optim::AdamHyper hyper;
+  hyper.weight_decay = o.weight_decay;
+
+  if (name == "adamw") return std::make_unique<optim::AdamW>(hyper);
+  if (name == "adamw-bf16")
+    return std::make_unique<optim::AdamWBf16>(hyper);
+  if (name == "sgd") return std::make_unique<optim::Sgd>(0.f, o.weight_decay);
+  if (name == "sgd-momentum")
+    return std::make_unique<optim::Sgd>(o.momentum, o.weight_decay);
+  if (name == "adam-mini") return std::make_unique<optim::AdamMini>(hyper);
+  if (name == "adam8bit") return std::make_unique<optim::Adam8bit>(hyper);
+  if (name == "adafactor") {
+    optim::AdafactorConfig cfg;
+    cfg.weight_decay = o.weight_decay;
+    return std::make_unique<optim::Adafactor>(cfg);
+  }
+
+  if (name.rfind("galore", 0) == 0 || name == "golore" || name == "fira" ||
+      name == "flora") {
+    optim::GaloreConfig cfg;
+    cfg.rank = o.rank;
+    cfg.scale = o.scale >= 0.f ? o.scale : 0.25f;
+    cfg.update_freq = o.update_freq;
+    cfg.seed = o.seed;
+    cfg.hyper = hyper;
+    if (name == "galore") return optim::GaLore::galore(cfg);
+    if (name == "galore-rp") return optim::GaLore::galore_rp(cfg);
+    if (name == "galore8bit") return optim::GaLore::galore_8bit(cfg);
+    if (name == "fira") return optim::GaLore::fira(cfg);
+    if (name == "golore")
+      // Switch to random projections after one SVD refresh period.
+      return optim::GaLore::golore(cfg, o.update_freq);
+    return optim::GaLore::flora(cfg);
+  }
+
+  if (name == "lora" || name == "relora" || name == "dora" ||
+      name == "lowrank") {
+    optim::AdapterConfig cfg;
+    cfg.rank = o.rank;
+    cfg.seed = o.seed;
+    cfg.hyper = hyper;
+    cfg.kind = name == "lora"     ? optim::AdapterKind::kLora
+               : name == "relora" ? optim::AdapterKind::kRelora
+               : name == "dora"   ? optim::AdapterKind::kDora
+                                  : optim::AdapterKind::kFactorized;
+    return std::make_unique<optim::LowRankAdapter>(cfg);
+  }
+
+  if (name.rfind("apollo", 0) == 0) {
+    ApolloConfig cfg;
+    cfg.rank = o.rank;
+    cfg.update_freq = o.update_freq;
+    cfg.seed = o.seed;
+    cfg.hyper = hyper;
+    if (o.scale >= 0.f) cfg.scale = o.scale;
+    if (name == "apollo-mini") {
+      ApolloConfig mini = ApolloConfig::mini();
+      mini.update_freq = o.update_freq;
+      mini.seed = o.seed;
+      mini.hyper = hyper;
+      if (o.scale >= 0.f) mini.scale = o.scale;
+      return std::make_unique<Apollo>(mini, "APOLLO-Mini");
+    }
+    if (name == "apollo-svd") return Apollo::with_svd(cfg);
+    return Apollo::standard(cfg);
+  }
+
+  if (name.rfind("structured-", 0) == 0) {
+    StructuredAdamWConfig cfg;
+    cfg.hyper = hyper;
+    cfg.granularity = name == "structured-tensor" ? LrGranularity::kTensor
+                                                  : LrGranularity::kChannel;
+    return std::make_unique<StructuredAdamW>(cfg);
+  }
+
+  return nullptr;
+}
+
+}  // namespace apollo::core

@@ -1,0 +1,35 @@
+// String-keyed optimizer factory — the single place that maps method names
+// ("adamw", "galore", "apollo-mini", …) to configured optimizers. Used by
+// the apollo_train CLI and anywhere a method is chosen at runtime. Lives in
+// core (not optim) because it constructs the APOLLO optimizers too.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace apollo::core {
+
+struct FactoryOptions {
+  int64_t rank = 4;
+  float scale = -1.f;      // <0 ⇒ method default (GaLore 0.25, APOLLO 1, …)
+  int update_freq = 200;   // projector refresh period T
+  uint64_t seed = 4242;
+  float weight_decay = 0.f;
+  float momentum = 0.9f;   // SGD only
+};
+
+// Known method names, in display order.
+const std::vector<std::string>& known_optimizers();
+
+// Returns nullptr for unknown names.
+std::unique_ptr<optim::Optimizer> make_optimizer(const std::string& name,
+                                                 const FactoryOptions& opts = {});
+
+// A sensible default learning rate per method (the values used across the
+// reproduction benches): AdamW-family 3e-3, projected methods 1e-2, SGD 5e-2.
+float default_lr(const std::string& name);
+
+}  // namespace apollo::core

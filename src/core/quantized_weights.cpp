@@ -1,0 +1,37 @@
+#include "core/quantized_weights.h"
+
+namespace apollo::core {
+
+QuantizedWeightStore::QuantizedWeightStore(const nn::ParamList& params,
+                                           uint64_t seed, int64_t group)
+    : group_(group), rng_(seed) {
+  for (nn::Parameter* p : params) {
+    if (p->matrix_shaped) {
+      slots_.push_back({p, GroupQuantized::quantize(p->value, group_)});
+    } else {
+      fp32_params_.push_back(p);
+    }
+  }
+  dequantize_into_params();
+}
+
+void QuantizedWeightStore::dequantize_into_params() {
+  for (Slot& s : slots_) s.param->value = s.store.dequantize();
+}
+
+void QuantizedWeightStore::requantize_from_params() {
+  for (Slot& s : slots_) {
+    s.store = GroupQuantized::quantize_stochastic(s.param->value, rng_, group_);
+    s.param->value = s.store.dequantize();
+  }
+}
+
+int64_t QuantizedWeightStore::weight_bytes() const {
+  int64_t b = 0;
+  for (const Slot& s : slots_) b += s.store.bytes();
+  for (const nn::Parameter* p : fp32_params_)
+    b += p->value.size() * static_cast<int64_t>(sizeof(float));
+  return b;
+}
+
+}  // namespace apollo::core

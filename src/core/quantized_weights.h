@@ -1,0 +1,45 @@
+// INT8 weight store for Q-APOLLO / Q-APOLLO-Mini (and the Q-GaLore
+// baseline): the persistent copy of every 2-D weight lives group-quantized
+// (group size 128); the fp32 Parameter::value is just a working buffer.
+//
+// Training cycle per step:
+//   dequantize_into_params() → forward/backward → optimizer.step() →
+//   requantize_from_params()   (stochastic rounding keeps E[W_int8] = W).
+// 1-D gains stay fp32 (they are negligible), exactly as in Q-GaLore.
+#pragma once
+
+#include <unordered_map>
+
+#include "nn/parameter.h"
+#include "quant/quant.h"
+
+namespace apollo::core {
+
+class QuantizedWeightStore {
+ public:
+  QuantizedWeightStore(const nn::ParamList& params, uint64_t seed,
+                       int64_t group = 128);
+
+  // Write dequantized weights into Parameter::value for forward/backward.
+  void dequantize_into_params();
+
+  // Absorb the optimizer's fp32 update back into the INT8 store with
+  // stochastic rounding, then refresh Parameter::value from the store so
+  // the visible weights always equal the quantized ones.
+  void requantize_from_params();
+
+  // Persistent weight memory (INT8 data + group scales + fp32 leftovers).
+  int64_t weight_bytes() const;
+
+ private:
+  struct Slot {
+    nn::Parameter* param;
+    GroupQuantized store;
+  };
+  std::vector<Slot> slots_;
+  std::vector<nn::Parameter*> fp32_params_;  // 1-D, kept in full precision
+  int64_t group_;
+  Rng rng_;
+};
+
+}  // namespace apollo::core

@@ -1,0 +1,93 @@
+#include "core/structured_adamw.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace apollo::core {
+
+std::string StructuredAdamW::name() const {
+  switch (cfg_.granularity) {
+    case LrGranularity::kElement: return "AdamW (element-wise)";
+    case LrGranularity::kChannel: return "AdamW (channel-wise)";
+    case LrGranularity::kTensor: return "AdamW (tensor-wise)";
+  }
+  return "?";
+}
+
+void StructuredAdamW::step(const nn::ParamList& params) {
+  ++t_;
+  const float b1 = cfg_.hyper.beta1, b2 = cfg_.hyper.beta2;
+  for (nn::Parameter* p : params) {
+    State& s = states_[p];
+    const Matrix& g = p->grad;
+    if (s.m.size() == 0) {
+      s.m.reshape_discard(g.rows(), g.cols());
+      s.v.reshape_discard(g.rows(), g.cols());
+    }
+    ++s.local_t;
+    const float bc1 = 1.f - std::pow(b1, static_cast<float>(s.local_t));
+    const float bc2 = 1.f - std::pow(b2, static_cast<float>(s.local_t));
+
+    // Full-rank moments and the element-wise normalized gradient G̃.
+    Matrix gtilde(g.rows(), g.cols());
+    for (int64_t i = 0; i < g.size(); ++i) {
+      s.m[i] = b1 * s.m[i] + (1.f - b1) * g[i];
+      s.v[i] = b2 * s.v[i] + (1.f - b2) * g[i] * g[i];
+      gtilde[i] =
+          (s.m[i] / bc1) / (std::sqrt(s.v[i] / bc2) + cfg_.hyper.eps);
+    }
+
+    Matrix update;
+    const bool coarsen =
+        p->matrix_shaped && cfg_.granularity != LrGranularity::kElement;
+    if (!coarsen) {
+      update = std::move(gtilde);
+    } else if (cfg_.granularity == LrGranularity::kChannel) {
+      // Channels along the larger dimension (paper convention m ≤ n).
+      const bool cols_are_channels = g.rows() <= g.cols();
+      std::vector<float> num =
+          cols_are_channels ? col_norms(gtilde) : row_norms(gtilde);
+      std::vector<float> den =
+          cols_are_channels ? col_norms(g) : row_norms(g);
+      std::vector<float>& sf = s.last_scaling;
+      sf.resize(num.size());
+      for (size_t j = 0; j < sf.size(); ++j)
+        sf[j] = den[j] > 1e-30f ? num[j] / den[j] : 0.f;
+      update = g;
+      if (cols_are_channels)
+        scale_cols_inplace(update, sf);
+      else
+        scale_rows_inplace(update, sf);
+    } else {
+      const double num = frobenius_norm(gtilde);
+      const double den = frobenius_norm(g);
+      const float sf = den > 1e-30 ? static_cast<float>(num / den) : 0.f;
+      s.last_scaling.assign(1, sf);
+      update = g;
+      scale_inplace(update, sf);
+    }
+
+    if (coarsen && cfg_.use_norm_limiter) s.limiter.apply(update);
+
+    const float wd = cfg_.hyper.weight_decay;
+    for (int64_t i = 0; i < p->value.size(); ++i)
+      p->value[i] -= lr_ * (update[i] + wd * p->value[i]);
+  }
+}
+
+int64_t StructuredAdamW::state_bytes() const {
+  int64_t b = 0;
+  for (const auto& [k, s] : states_)
+    b += (s.m.size() + s.v.size()) * static_cast<int64_t>(sizeof(float));
+  return b;
+}
+
+const std::vector<float>* StructuredAdamW::last_scaling(
+    const nn::Parameter* p) const {
+  auto it = states_.find(p);
+  if (it == states_.end() || it->second.last_scaling.empty()) return nullptr;
+  return &it->second.last_scaling;
+}
+
+}  // namespace apollo::core

@@ -1,0 +1,56 @@
+// Structured learning-rate AdamW (Section 3 of the paper).
+//
+// AdamW reformulated as "SGD with an adaptive per-element learning rate"
+// (Eq. 2), then coarsened: the element-wise scaling S = G̃/G is replaced by
+//   - channel-wise factors  sⱼ = ‖G̃[:,j]‖/‖G[:,j]‖ (Eq. 3), or
+//   - a single tensor-wise factor s = ‖G̃‖/‖G‖,
+// computed from the *full-rank* moments. This optimizer is the paper's
+// empirical-validation vehicle (Fig. 3) and the full-rank golden reference
+// against which APOLLO's low-rank approximation of the same factors is
+// measured (Fig. 4 / Fig. 8). It saves no memory — that is APOLLO's job.
+//
+// kElement + no limiter is exactly AdamW (a property the tests assert).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "optim/norm_limiter.h"
+#include "optim/optimizer.h"
+
+namespace apollo::core {
+
+enum class LrGranularity { kElement, kChannel, kTensor };
+
+struct StructuredAdamWConfig {
+  LrGranularity granularity = LrGranularity::kChannel;
+  bool use_norm_limiter = true;
+  float nl_gamma = 1.01f;
+  optim::AdamHyper hyper;
+};
+
+class StructuredAdamW : public optim::Optimizer {
+ public:
+  explicit StructuredAdamW(const StructuredAdamWConfig& cfg) : cfg_(cfg) {}
+
+  void step(const nn::ParamList& params) override;
+  std::string name() const override;
+  int64_t state_bytes() const override;
+
+  // Full-rank channel scaling factors from the latest step (Fig. 4 golden).
+  const std::vector<float>* last_scaling(const nn::Parameter* p) const;
+
+ private:
+  struct State {
+    Matrix m, v;
+    int64_t local_t = 0;
+    optim::NormGrowthLimiter limiter;
+    std::vector<float> last_scaling;
+  };
+
+  StructuredAdamWConfig cfg_;
+  std::unordered_map<const nn::Parameter*, State> states_;
+};
+
+}  // namespace apollo::core

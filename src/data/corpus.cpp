@@ -1,0 +1,156 @@
+#include "data/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace apollo::data {
+
+SyntheticCorpus::SyntheticCorpus(const CorpusConfig& cfg) : cfg_(cfg) {
+  APOLLO_CHECK(cfg.vocab >= 16 && cfg.n_topics >= 1 && cfg.branch >= 2);
+  Rng rng(cfg.seed);
+
+  // Zipf CDF over the vocabulary.
+  zipf_cdf_.resize(static_cast<size_t>(cfg.vocab));
+  double total = 0;
+  for (int v = 0; v < cfg.vocab; ++v)
+    total += 1.0 / std::pow(static_cast<double>(v + 1), cfg.zipf_s);
+  double acc = 0;
+  for (int v = 0; v < cfg.vocab; ++v) {
+    acc += 1.0 / std::pow(static_cast<double>(v + 1), cfg.zipf_s) / total;
+    zipf_cdf_[static_cast<size_t>(v)] = acc;
+  }
+
+  // Per-topic sparse Markov chains with randomly weighted successors.
+  successors_.resize(static_cast<size_t>(cfg.n_topics));
+  cum_weights_.resize(static_cast<size_t>(cfg.n_topics));
+  for (int t = 0; t < cfg.n_topics; ++t) {
+    auto& succ = successors_[static_cast<size_t>(t)];
+    auto& cw = cum_weights_[static_cast<size_t>(t)];
+    succ.resize(static_cast<size_t>(cfg.vocab) * cfg.branch);
+    cw.resize(static_cast<size_t>(cfg.vocab) * cfg.branch);
+    for (int v = 0; v < cfg.vocab; ++v) {
+      float wacc = 0.f;
+      std::vector<float> w(static_cast<size_t>(cfg.branch));
+      for (int b = 0; b < cfg.branch; ++b) {
+        // Successors are Zipf-drawn so the chain's stationary distribution
+        // keeps natural-language-like skew (common words follow anything).
+        succ[static_cast<size_t>(v * cfg.branch + b)] = sample_zipf(rng);
+        // Exponential-ish weights give each state a clear favourite.
+        w[static_cast<size_t>(b)] = std::exp(2.f * rng.next_float());
+        wacc += w[static_cast<size_t>(b)];
+      }
+      float c = 0.f;
+      for (int b = 0; b < cfg.branch; ++b) {
+        c += w[static_cast<size_t>(b)] / wacc;
+        cw[static_cast<size_t>(v * cfg.branch + b)] = c;
+      }
+    }
+  }
+}
+
+int32_t SyntheticCorpus::sample_zipf(Rng& rng) const {
+  const double u = rng.next_double();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<int32_t>(std::min<size_t>(
+      static_cast<size_t>(it - zipf_cdf_.begin()), zipf_cdf_.size() - 1));
+}
+
+int32_t SyntheticCorpus::sample_successor(Rng& rng, int topic,
+                                          int32_t token) const {
+  const auto& cw = cum_weights_[static_cast<size_t>(topic)];
+  const auto& succ = successors_[static_cast<size_t>(topic)];
+  const float u = rng.next_float();
+  const size_t base = static_cast<size_t>(token) * cfg_.branch;
+  for (int b = 0; b < cfg_.branch; ++b)
+    if (u <= cw[base + static_cast<size_t>(b)])
+      return succ[base + static_cast<size_t>(b)];
+  return succ[base + static_cast<size_t>(cfg_.branch - 1)];
+}
+
+int32_t SyntheticCorpus::top_successor(int topic, int32_t token) const {
+  const auto& cw = cum_weights_[static_cast<size_t>(topic)];
+  const auto& succ = successors_[static_cast<size_t>(topic)];
+  const size_t base = static_cast<size_t>(token) * cfg_.branch;
+  float best_w = 0.f;
+  int best = 0;
+  float prev = 0.f;
+  for (int b = 0; b < cfg_.branch; ++b) {
+    const float w = cw[base + static_cast<size_t>(b)] - prev;
+    prev = cw[base + static_cast<size_t>(b)];
+    if (w > best_w) {
+      best_w = w;
+      best = b;
+    }
+  }
+  return succ[base + static_cast<size_t>(best)];
+}
+
+void SyntheticCorpus::sample_sequence(Rng& rng, int len,
+                                      std::vector<int32_t>& out) const {
+  // Delegate to the annotated generator so both paths share one stream:
+  // identical rng consumption ⇒ identical tokens.
+  std::vector<Mechanism> mech;
+  sample_sequence_annotated(rng, len, out, mech);
+}
+
+void SyntheticCorpus::sample_sequence_annotated(
+    Rng& rng, int len, std::vector<int32_t>& out,
+    std::vector<Mechanism>& mech) const {
+  out.resize(static_cast<size_t>(len));
+  mech.resize(static_cast<size_t>(len));
+  const int topic = static_cast<int>(rng.next_below(
+      static_cast<uint64_t>(cfg_.n_topics)));
+  int32_t state = sample_zipf(rng);
+  for (int i = 0; i < len; ++i) {
+    const double u = rng.next_double();
+    int32_t tok;
+    if (i >= cfg_.copy_distance && u < cfg_.p_copy) {
+      tok = out[static_cast<size_t>(i - cfg_.copy_distance)];
+      mech[static_cast<size_t>(i)] = Mechanism::kCopy;
+    } else if (u < cfg_.p_copy + cfg_.p_markov) {
+      tok = sample_successor(rng, topic, state);
+      mech[static_cast<size_t>(i)] = Mechanism::kMarkov;
+    } else {
+      tok = sample_zipf(rng);
+      mech[static_cast<size_t>(i)] = Mechanism::kUnigram;
+    }
+    out[static_cast<size_t>(i)] = tok;
+    state = tok;
+  }
+}
+
+BatchLoader::BatchLoader(const TokenSource& corpus, int batch, int seq_len,
+                         uint64_t stream_seed)
+    : corpus_(corpus), batch_(batch), seq_len_(seq_len), rng_(stream_seed) {}
+
+void BatchLoader::next(std::vector<int32_t>& ids,
+                       std::vector<int32_t>& targets) {
+  const size_t total = static_cast<size_t>(batch_) * seq_len_;
+  ids.resize(total);
+  targets.resize(total);
+  for (int b = 0; b < batch_; ++b) {
+    corpus_.sample_sequence(rng_, seq_len_ + 1, scratch_);
+    const size_t off = static_cast<size_t>(b) * seq_len_;
+    for (int i = 0; i < seq_len_; ++i) {
+      ids[off + static_cast<size_t>(i)] = scratch_[static_cast<size_t>(i)];
+      targets[off + static_cast<size_t>(i)] =
+          scratch_[static_cast<size_t>(i) + 1];
+    }
+  }
+}
+
+ValidationSet make_validation_set(const TokenSource& corpus, int batches,
+                                  int batch, int seq_len, uint64_t seed) {
+  BatchLoader loader(corpus, batch, seq_len, seed);
+  ValidationSet vs;
+  vs.ids.resize(static_cast<size_t>(batches));
+  vs.targets.resize(static_cast<size_t>(batches));
+  for (int i = 0; i < batches; ++i)
+    loader.next(vs.ids[static_cast<size_t>(i)],
+                vs.targets[static_cast<size_t>(i)]);
+  return vs;
+}
+
+}  // namespace apollo::data

@@ -1,0 +1,215 @@
+#include "data/tasks.h"
+
+#include <algorithm>
+#include <map>
+
+#include "tensor/check.h"
+
+namespace apollo::data {
+
+const char* task_name(CommonsenseTask t) {
+  switch (t) {
+    case CommonsenseTask::kCopyFirst: return "WG";
+    case CommonsenseTask::kCopyLast: return "PIQA";
+    case CommonsenseTask::kMaxToken: return "SIQA";
+    case CommonsenseTask::kMajority: return "OBQA";
+    case CommonsenseTask::kParity: return "HS";
+    case CommonsenseTask::kSuccessor: return "BoolQ";
+    case CommonsenseTask::kSecondToken: return "Arc-E";
+    case CommonsenseTask::kAlternation: return "Arc-C";
+  }
+  return "?";
+}
+
+const char* domain_name(MmluDomain d) {
+  switch (d) {
+    case MmluDomain::kStem: return "STEM";
+    case MmluDomain::kSocial: return "Social Sciences";
+    case MmluDomain::kHumanities: return "Humanities";
+    case MmluDomain::kOther: return "Other";
+  }
+  return "?";
+}
+
+TaskGenerator::TaskGenerator(const SyntheticCorpus& corpus, uint64_t seed)
+    : corpus_(corpus), specials_(corpus.config().vocab), rng_(seed) {}
+
+int32_t TaskGenerator::random_regular_token(int lo, int hi) {
+  if (hi < 0) hi = corpus_.config().vocab - 3;  // below the specials
+  return static_cast<int32_t>(
+      lo + rng_.next_below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+TaskExample TaskGenerator::sample_commonsense(CommonsenseTask task,
+                                              int prompt_len) {
+  TaskExample ex;
+  auto& p = ex.tokens;
+  // Tasks use a restricted alphabet so answers stay inside the regular
+  // vocabulary and the rules are learnable at nano scale.
+  constexpr int kAlphaLo = 1, kAlphaHi = 40;
+  const int32_t marker = 41;  // for the parity task
+
+  switch (task) {
+    case CommonsenseTask::kCopyFirst:
+    case CommonsenseTask::kCopyLast:
+    case CommonsenseTask::kSecondToken:
+    case CommonsenseTask::kMaxToken: {
+      for (int i = 0; i < prompt_len; ++i)
+        p.push_back(random_regular_token(kAlphaLo, kAlphaHi));
+      if (task == CommonsenseTask::kCopyFirst) ex.answer = p.front();
+      else if (task == CommonsenseTask::kCopyLast) ex.answer = p.back();
+      else if (task == CommonsenseTask::kSecondToken) ex.answer = p[1];
+      else ex.answer = *std::max_element(p.begin(), p.end());
+      break;
+    }
+    case CommonsenseTask::kMajority: {
+      // Plant a clear majority token.
+      const int32_t maj = random_regular_token(kAlphaLo, kAlphaHi);
+      const int copies = prompt_len / 2 + 1;
+      for (int i = 0; i < copies; ++i) p.push_back(maj);
+      while (static_cast<int>(p.size()) < prompt_len) {
+        int32_t t = random_regular_token(kAlphaLo, kAlphaHi);
+        if (t != maj) p.push_back(t);
+      }
+      // Shuffle (Fisher–Yates with our rng).
+      for (size_t i = p.size(); i > 1; --i)
+        std::swap(p[i - 1], p[rng_.next_below(i)]);
+      ex.answer = maj;
+      break;
+    }
+    case CommonsenseTask::kParity: {
+      const int markers = static_cast<int>(rng_.next_below(5));
+      for (int i = 0; i < prompt_len; ++i)
+        p.push_back(random_regular_token(kAlphaLo, kAlphaHi));
+      for (int i = 0; i < markers; ++i)
+        p[rng_.next_below(static_cast<uint64_t>(prompt_len))] = marker;
+      int count = 0;
+      for (int32_t t : p) count += (t == marker);
+      ex.answer = (count % 2 == 0) ? 50 : 51;  // even/odd answer tokens
+      ex.choices = {50, 51};
+      break;
+    }
+    case CommonsenseTask::kSuccessor: {
+      for (int i = 0; i < prompt_len; ++i)
+        p.push_back(random_regular_token(kAlphaLo, kAlphaHi));
+      ex.answer = corpus_.top_successor(0, p.back());
+      break;
+    }
+    case CommonsenseTask::kAlternation: {
+      const int32_t a = random_regular_token(kAlphaLo, kAlphaHi);
+      int32_t b = a;
+      while (b == a) b = random_regular_token(kAlphaLo, kAlphaHi);
+      for (int i = 0; i < prompt_len; ++i) p.push_back(i % 2 == 0 ? a : b);
+      ex.answer = (prompt_len % 2 == 0) ? a : b;
+      ex.choices = {a, b};
+      break;
+    }
+  }
+  p.push_back(specials_.query);
+  ex.answer_pos = static_cast<int>(p.size());
+  p.push_back(ex.answer);
+  return ex;
+}
+
+TaskExample TaskGenerator::sample_mmlu(MmluDomain domain, int context_len) {
+  TaskExample ex;
+  auto& p = ex.tokens;
+  constexpr int kAlphaLo = 1, kAlphaHi = 40;
+  std::vector<int32_t> ctx;
+  for (int i = 0; i < context_len; ++i)
+    ctx.push_back(random_regular_token(kAlphaLo, kAlphaHi));
+
+  // Four distinct candidate options drawn from the context + distractors.
+  std::vector<int32_t> options;
+  auto push_unique = [&](int32_t t) {
+    if (std::find(options.begin(), options.end(), t) == options.end())
+      options.push_back(t);
+  };
+  push_unique(ctx.front());
+  push_unique(ctx.back());
+  push_unique(*std::max_element(ctx.begin(), ctx.end()));
+  while (options.size() < 4) push_unique(random_regular_token(kAlphaLo, kAlphaHi));
+  options.resize(4);
+  // Shuffle option order so position carries no signal.
+  for (size_t i = options.size(); i > 1; --i)
+    std::swap(options[i - 1], options[rng_.next_below(i)]);
+
+  int32_t correct;
+  switch (domain) {
+    case MmluDomain::kStem:
+      correct = *std::max_element(ctx.begin(), ctx.end());
+      break;
+    case MmluDomain::kSocial: {
+      // Most frequent token in the context (ties → smallest id).
+      std::map<int32_t, int> freq;
+      for (int32_t t : ctx) ++freq[t];
+      correct = std::max_element(freq.begin(), freq.end(),
+                                 [](const auto& a, const auto& b) {
+                                   return a.second < b.second;
+                                 })
+                    ->first;
+      break;
+    }
+    case MmluDomain::kHumanities:
+      correct = ctx.front();
+      break;
+    case MmluDomain::kOther:
+    default:
+      correct = ctx.back();
+      break;
+  }
+  // Guarantee the correct answer appears among the options.
+  if (std::find(options.begin(), options.end(), correct) == options.end())
+    options[rng_.next_below(4)] = correct;
+
+  p = ctx;
+  p.push_back(specials_.sep);
+  for (int32_t o : options) p.push_back(o);
+  p.push_back(specials_.query);
+  ex.answer_pos = static_cast<int>(p.size());
+  p.push_back(correct);
+  ex.answer = correct;
+  ex.choices = options;
+  return ex;
+}
+
+TaskGenerator::Batch TaskGenerator::pack(const std::vector<TaskExample>& ex,
+                                         int seq_len) {
+  Batch b;
+  const int n = static_cast<int>(ex.size());
+  b.ids.assign(static_cast<size_t>(n) * seq_len, 0);
+  b.targets.assign(static_cast<size_t>(n) * seq_len, -1);
+  for (int i = 0; i < n; ++i) {
+    const auto& e = ex[static_cast<size_t>(i)];
+    APOLLO_CHECK(static_cast<int>(e.tokens.size()) <= seq_len);
+    const size_t off = static_cast<size_t>(i) * seq_len;
+    for (size_t j = 0; j < e.tokens.size(); ++j)
+      b.ids[off + j] = e.tokens[j];
+    // Predict the answer from the position *before* it (causal shift).
+    b.targets[off + static_cast<size_t>(e.answer_pos - 1)] = e.answer;
+    b.answer_rows.push_back(i * seq_len + e.answer_pos - 1);
+    b.choices.push_back(e.choices);
+  }
+  return b;
+}
+
+TaskGenerator::Batch TaskGenerator::make_commonsense_batch(CommonsenseTask task,
+                                                           int batch,
+                                                           int seq_len) {
+  std::vector<TaskExample> ex;
+  ex.reserve(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i)
+    ex.push_back(sample_commonsense(task, seq_len - 4));
+  return pack(ex, seq_len);
+}
+
+TaskGenerator::Batch TaskGenerator::make_mmlu_batch(MmluDomain domain,
+                                                    int batch, int seq_len) {
+  std::vector<TaskExample> ex;
+  ex.reserve(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i)
+    ex.push_back(sample_mmlu(domain, seq_len - 8));
+  return pack(ex, seq_len);
+}
+
+}  // namespace apollo::data

@@ -1,0 +1,85 @@
+// Synthetic downstream tasks standing in for the paper's fine-tuning suites
+// (Table 4: eight commonsense-reasoning tasks; Table 5: four MMLU domains).
+//
+// Each example is a token sequence `prompt… QUERY answer`; the model is
+// fine-tuned with loss only on the answer position and evaluated by
+// answer-token accuracy (for multiple-choice, argmax restricted to the
+// choice tokens). Tasks span pure-pattern rules (copy, majority, parity…)
+// and one rule tied to pre-training knowledge (Markov successor), so the
+// relative fine-tuning comparison exercises the same "adapt a pretrained
+// backbone" regime as the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+
+namespace apollo::data {
+
+// Reserved token ids at the top of the vocabulary.
+struct SpecialTokens {
+  int32_t query;   // separates prompt from answer
+  int32_t sep;     // separates multiple-choice options
+  explicit SpecialTokens(int vocab)
+      : query(vocab - 1), sep(vocab - 2) {}
+};
+
+struct TaskExample {
+  std::vector<int32_t> tokens;  // prompt … QUERY answer
+  int answer_pos = 0;           // index of the answer token
+  int32_t answer = 0;
+  std::vector<int32_t> choices;  // empty for open-vocabulary tasks
+};
+
+// The eight "commonsense" tasks (Table 4 stand-ins).
+enum class CommonsenseTask {
+  kCopyFirst,    // WG stand-in: recall the first token
+  kCopyLast,     // PIQA: recall the most recent token
+  kMaxToken,     // SIQA: largest token id seen
+  kMajority,     // OBQA: most frequent token
+  kParity,       // HS: odd/even count of a marker token
+  kSuccessor,    // BoolQ: Markov successor from pre-training topic 0
+  kSecondToken,  // ARC-E: recall the second token
+  kAlternation,  // ARC-C: continue an a-b-a-b pattern
+};
+constexpr int kNumCommonsenseTasks = 8;
+const char* task_name(CommonsenseTask t);
+
+// MMLU-style domains (Table 5 stand-ins). All are 4-way multiple choice:
+// the prompt lists four candidate tokens after a context; the correct one
+// is selected by the domain's rule.
+enum class MmluDomain { kStem, kSocial, kHumanities, kOther };
+constexpr int kNumMmluDomains = 4;
+const char* domain_name(MmluDomain d);
+
+class TaskGenerator {
+ public:
+  TaskGenerator(const SyntheticCorpus& corpus, uint64_t seed);
+
+  TaskExample sample_commonsense(CommonsenseTask task, int prompt_len = 12);
+  TaskExample sample_mmlu(MmluDomain domain, int context_len = 8);
+
+  // Batches of examples, padded to seq_len; targets are −1 except at the
+  // answer position of each sequence.
+  struct Batch {
+    std::vector<int32_t> ids;      // batch·seq_len
+    std::vector<int32_t> targets;  // batch·seq_len
+    std::vector<int> answer_rows;  // flattened row of each answer
+    std::vector<std::vector<int32_t>> choices;  // per example
+  };
+  Batch make_commonsense_batch(CommonsenseTask task, int batch, int seq_len);
+  Batch make_mmlu_batch(MmluDomain domain, int batch, int seq_len);
+
+ private:
+  // Regular-token alphabet excludes the reserved specials.
+  int32_t random_regular_token(int lo = 1, int hi = -1);
+  Batch pack(const std::vector<TaskExample>& ex, int seq_len);
+
+  const SyntheticCorpus& corpus_;
+  SpecialTokens specials_;
+  Rng rng_;
+};
+
+}  // namespace apollo::data

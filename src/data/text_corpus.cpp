@@ -1,0 +1,79 @@
+#include "data/text_corpus.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "tensor/check.h"
+
+namespace apollo::data {
+
+namespace {
+bool set_error(std::string* error, const char* msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+}  // namespace
+
+TextCorpus::TextCorpus(std::string text) : text_(std::move(text)) {
+  train_end_ = text_.size() * 95 / 100;
+}
+
+std::optional<TextCorpus> TextCorpus::from_file(const std::string& path,
+                                                std::string* error,
+                                                size_t min_bytes) {
+  struct Closer {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, Closer> f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    set_error(error, "cannot open file");
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0)
+    text.append(buf, n);
+  return from_string(std::move(text), error, min_bytes);
+}
+
+std::optional<TextCorpus> TextCorpus::from_string(std::string text,
+                                                  std::string* error,
+                                                  size_t min_bytes) {
+  if (text.size() < min_bytes) {
+    set_error(error, "text too short to train on");
+    return std::nullopt;
+  }
+  return TextCorpus(std::move(text));
+}
+
+void TextCorpus::window(Rng& rng, size_t lo, size_t hi, int len,
+                        std::vector<int32_t>& out) const {
+  APOLLO_CHECK(hi > lo);
+  out.resize(static_cast<size_t>(len));
+  const size_t span = hi - lo;
+  const size_t need = static_cast<size_t>(len);
+  // If the span is shorter than the window, wrap around inside the span.
+  const size_t start =
+      lo + rng.next_below(span > need ? span - need : span);
+  for (int i = 0; i < len; ++i) {
+    size_t pos = start + static_cast<size_t>(i);
+    if (pos >= hi) pos = lo + (pos - hi) % span;
+    out[static_cast<size_t>(i)] =
+        static_cast<int32_t>(static_cast<unsigned char>(text_[pos]));
+  }
+}
+
+void TextCorpus::sample_sequence(Rng& rng, int len,
+                                 std::vector<int32_t>& out) const {
+  window(rng, 0, train_end_, len, out);
+}
+
+void TextCorpus::Holdout::sample_sequence(Rng& rng, int len,
+                                          std::vector<int32_t>& out) const {
+  owner_.window(rng, owner_.train_end_, owner_.text_.size(), len, out);
+}
+
+}  // namespace apollo::data

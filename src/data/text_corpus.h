@@ -1,0 +1,55 @@
+// Byte-level text corpus: train the same models on any real text file.
+// Tokens are raw bytes (vocab 256); sequences are uniformly sampled windows
+// with a held-out tail reserved for validation so train/val never overlap.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/token_source.h"
+
+namespace apollo::data {
+
+class TextCorpus : public TokenSource {
+ public:
+  // Loads a file; returns nullopt (with the reason in *error, if given)
+  // when the file is missing or shorter than `min_bytes`.
+  static std::optional<TextCorpus> from_file(const std::string& path,
+                                             std::string* error = nullptr,
+                                             size_t min_bytes = 1024);
+  // Builds directly from an in-memory string (tests, embedded corpora).
+  static std::optional<TextCorpus> from_string(std::string text,
+                                               std::string* error = nullptr,
+                                               size_t min_bytes = 64);
+
+  int vocab_size() const override { return 256; }
+
+  // Samples a window from the training span (first 95% of the bytes).
+  void sample_sequence(Rng& rng, int len,
+                       std::vector<int32_t>& out) const override;
+
+  // A view of the held-out tail as a TokenSource for validation sets.
+  class Holdout : public TokenSource {
+   public:
+    explicit Holdout(const TextCorpus& owner) : owner_(owner) {}
+    int vocab_size() const override { return 256; }
+    void sample_sequence(Rng& rng, int len,
+                         std::vector<int32_t>& out) const override;
+
+   private:
+    const TextCorpus& owner_;
+  };
+  Holdout holdout() const { return Holdout(*this); }
+
+  size_t size_bytes() const { return text_.size(); }
+
+ private:
+  explicit TextCorpus(std::string text);
+  void window(Rng& rng, size_t lo, size_t hi, int len,
+              std::vector<int32_t>& out) const;
+
+  std::string text_;
+  size_t train_end_ = 0;  // [0, train_end) train, [train_end, size) holdout
+};
+
+}  // namespace apollo::data

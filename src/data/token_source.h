@@ -1,0 +1,27 @@
+// Abstract token stream consumed by BatchLoader / Trainer. Implemented by
+// the synthetic corpus (the default C4 stand-in) and by TextCorpus
+// (byte-level tokenization of a user-supplied file), so the same training
+// loop runs on either.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace apollo::data {
+
+class TokenSource {
+ public:
+  virtual ~TokenSource() = default;
+
+  virtual int vocab_size() const = 0;
+
+  // Fill `out` with `len` tokens drawn using `rng`'s stream. The source's
+  // structure must be fixed at construction; only sampling may depend on
+  // `rng`, keeping runs reproducible from (source seed, stream seed).
+  virtual void sample_sequence(Rng& rng, int len,
+                               std::vector<int32_t>& out) const = 0;
+};
+
+}  // namespace apollo::data

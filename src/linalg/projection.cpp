@@ -1,0 +1,45 @@
+#include "linalg/projection.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace apollo {
+
+Matrix gaussian_projection(int64_t r, int64_t m, uint64_t seed) {
+  APOLLO_CHECK(r >= 1 && m >= 1);
+  Matrix p(r, m);
+  Rng rng(seed);
+  const float stddev = 1.f / std::sqrt(static_cast<float>(r));
+  p.fill_gaussian(rng, 0.f, stddev);
+  return p;
+}
+
+ProjectionSide natural_side(int64_t rows, int64_t cols) {
+  return rows <= cols ? ProjectionSide::kLeft : ProjectionSide::kRight;
+}
+
+Matrix project(const Matrix& g, const Matrix& p, ProjectionSide side) {
+  if (side == ProjectionSide::kLeft) {
+    APOLLO_CHECK(p.cols() == g.rows());
+    return matmul(p, g);  // r×n
+  }
+  APOLLO_CHECK(p.cols() == g.cols());
+  return matmul_bt(g, p);  // m×r
+}
+
+Matrix project_back(const Matrix& r, const Matrix& p, ProjectionSide side) {
+  if (side == ProjectionSide::kLeft) {
+    APOLLO_CHECK(r.rows() == p.rows());
+    return matmul_at(p, r);  // m×n
+  }
+  APOLLO_CHECK(r.cols() == p.rows());
+  return matmul(r, p);  // m×n
+}
+
+int64_t channel_count(int64_t rows, int64_t cols, ProjectionSide side) {
+  return side == ProjectionSide::kLeft ? cols : rows;
+}
+
+}  // namespace apollo

@@ -1,0 +1,120 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace apollo {
+
+namespace {
+
+// One-sided Jacobi on the columns of `a` (m×n, m ≥ n preferred but not
+// required). On exit the columns of `a` are U·diag(σ) and `v` accumulates
+// the right rotations.
+void jacobi_sweeps(Matrix& a, Matrix& v, int max_sweeps, float tol) {
+  const int64_t m = a.rows(), n = a.cols();
+  v.reshape_discard(n, n);
+  for (int64_t i = 0; i < n; ++i) v.at(i, i) = 1.f;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        // Gram 2×2 block for columns p, q.
+        double app = 0, aqq = 0, apq = 0;
+        for (int64_t i = 0; i < m; ++i) {
+          const double x = a.at(i, p), y = a.at(i, q);
+          app += x * x;
+          aqq += y * y;
+          apq += x * y;
+        }
+        if (std::fabs(apq) <=
+            static_cast<double>(tol) * std::sqrt(app * aqq) + 1e-30)
+          continue;
+        rotated = true;
+        // Jacobi rotation zeroing the off-diagonal of the 2×2 Gram block.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int64_t i = 0; i < m; ++i) {
+          const float x = a.at(i, p), y = a.at(i, q);
+          a.at(i, p) = static_cast<float>(c * x - s * y);
+          a.at(i, q) = static_cast<float>(s * x + c * y);
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          const float x = v.at(i, p), y = v.at(i, q);
+          v.at(i, p) = static_cast<float>(c * x - s * y);
+          v.at(i, q) = static_cast<float>(s * x + c * y);
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+}
+
+SvdResult svd_tall(const Matrix& a, int max_sweeps, float tol) {
+  Matrix work = a;
+  Matrix v;
+  jacobi_sweeps(work, v, max_sweeps, tol);
+
+  const int64_t m = work.rows(), n = work.cols();
+  std::vector<float> sigma(static_cast<size_t>(n));
+  auto norms = col_norms(work);
+  // Sort singular values descending, permuting U and V columns alike.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int64_t x, int64_t y) { return norms[x] > norms[y]; });
+
+  SvdResult out;
+  out.u.reshape_discard(m, n);
+  out.v.reshape_discard(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t src = order[static_cast<size_t>(j)];
+    const float s = norms[static_cast<size_t>(src)];
+    sigma[static_cast<size_t>(j)] = s;
+    const float inv = s > 1e-30f ? 1.f / s : 0.f;
+    for (int64_t i = 0; i < m; ++i) out.u.at(i, j) = work.at(i, src) * inv;
+    for (int64_t i = 0; i < n; ++i) out.v.at(i, j) = v.at(i, src);
+  }
+  out.sigma = std::move(sigma);
+  return out;
+}
+
+}  // namespace
+
+SvdResult svd(const Matrix& a, int max_sweeps, float tol) {
+  APOLLO_CHECK(!a.empty());
+  if (a.rows() >= a.cols()) return svd_tall(a, max_sweeps, tol);
+  // A = U Σ Vᵀ  ⇔  Aᵀ = V Σ Uᵀ: run on the transpose and swap factors.
+  SvdResult t = svd_tall(a.transposed(), max_sweeps, tol);
+  SvdResult out;
+  out.u = std::move(t.v);
+  out.v = std::move(t.u);
+  out.sigma = std::move(t.sigma);
+  return out;
+}
+
+Matrix svd_left_projector(const Matrix& a, int64_t r) {
+  APOLLO_CHECK(r >= 1 && r <= a.rows());
+  SvdResult d = svd(a);
+  Matrix p(r, a.rows());
+  for (int64_t i = 0; i < r; ++i)
+    for (int64_t j = 0; j < a.rows(); ++j) p.at(i, j) = d.u.at(j, i);
+  return p;
+}
+
+Matrix svd_right_projector(const Matrix& a, int64_t r) {
+  APOLLO_CHECK(r >= 1 && r <= a.cols());
+  SvdResult d = svd(a);
+  Matrix p(r, a.cols());
+  for (int64_t i = 0; i < r; ++i)
+    for (int64_t j = 0; j < a.cols(); ++j) p.at(i, j) = d.v.at(j, i);
+  return p;
+}
+
+}  // namespace apollo

@@ -1,0 +1,35 @@
+// Singular value decomposition via one-sided Jacobi rotations.
+//
+// GaLore/Fira (and the "APOLLO w. SVD" ablation) need the top-r left or
+// right singular vectors of each gradient matrix every T steps. The paper's
+// central systems complaint is that this SVD is expensive (O(mn²), ~10 min
+// for LLaMA-7B); we reproduce both the functionality (here) and the cost
+// asymmetry (bench_fig9_svd_spikes measures this kernel vs. the seeded
+// random projection that APOLLO uses instead).
+#pragma once
+
+#include "tensor/matrix.h"
+
+namespace apollo {
+
+struct SvdResult {
+  Matrix u;                    // m×k, orthonormal columns
+  std::vector<float> sigma;    // k singular values, descending
+  Matrix v;                    // n×k, orthonormal columns (A = U·diag(σ)·Vᵀ)
+};
+
+// Full thin SVD (k = min(m, n)) by one-sided Jacobi. Deterministic.
+// `max_sweeps` bounds work; convergence tolerance is relative to the
+// largest column norm.
+SvdResult svd(const Matrix& a, int max_sweeps = 30, float tol = 1e-7f);
+
+// Top-r left singular vectors, returned as a projection matrix P ∈ R^{r×m}
+// with orthonormal rows (rows = uᵢᵀ). This is GaLore's projector for
+// matrices with m ≤ n.
+Matrix svd_left_projector(const Matrix& a, int64_t r);
+
+// Top-r right singular vectors as P ∈ R^{r×n} (rows = vᵢᵀ); GaLore's
+// projector when m > n.
+Matrix svd_right_projector(const Matrix& a, int64_t r);
+
+}  // namespace apollo

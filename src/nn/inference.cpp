@@ -1,0 +1,172 @@
+#include "nn/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apollo::nn {
+
+InferenceSession::InferenceSession(LlamaModel& model) : model_(model) {
+  const auto& cfg = model.config();
+  caches_.resize(static_cast<size_t>(cfg.n_layers));
+  logits_.resize(static_cast<size_t>(cfg.vocab));
+  const size_t h = static_cast<size_t>(cfg.hidden);
+  h_.resize(h);
+  norm_.resize(h);
+  q_.resize(h);
+  k_.resize(h);
+  v_.resize(h);
+  att_out_.resize(h);
+  gate_.resize(static_cast<size_t>(cfg.intermediate));
+  up_.resize(static_cast<size_t>(cfg.intermediate));
+  mlp_.resize(h);
+}
+
+void InferenceSession::reset() {
+  for (auto& c : caches_) {
+    c.k.clear();
+    c.v.clear();
+  }
+  position_ = 0;
+}
+
+void InferenceSession::rmsnorm_vec(const float* x, const Matrix& gain,
+                                   std::vector<float>& out) const {
+  const int64_t n = gain.cols();
+  double ss = 0;
+  for (int64_t i = 0; i < n; ++i) ss += static_cast<double>(x[i]) * x[i];
+  const float inv =
+      1.f / std::sqrt(static_cast<float>(ss / static_cast<double>(n)) +
+                      1e-6f);
+  for (int64_t i = 0; i < n; ++i)
+    out[static_cast<size_t>(i)] = x[i] * inv * gain[i];
+}
+
+void InferenceSession::matvec(const Matrix& w, const std::vector<float>& x,
+                              std::vector<float>& y) {
+  const int64_t out = w.rows(), in = w.cols();
+  y.resize(static_cast<size_t>(out));
+  for (int64_t o = 0; o < out; ++o) {
+    const float* wr = w.row(o);
+    float acc = 0.f;
+    for (int64_t i = 0; i < in; ++i)
+      acc += wr[i] * x[static_cast<size_t>(i)];
+    y[static_cast<size_t>(o)] = acc;
+  }
+}
+
+void InferenceSession::rope_vec(std::vector<float>& x, int pos) const {
+  const auto& cfg = model_.config();
+  const int64_t head_dim = cfg.hidden / cfg.n_heads;
+  const int64_t half = head_dim / 2;
+  for (int hd = 0; hd < cfg.n_heads; ++hd) {
+    float* hp = x.data() + static_cast<int64_t>(hd) * head_dim;
+    for (int64_t i = 0; i < half; ++i) {
+      const double freq = std::pow(
+          static_cast<double>(cfg.rope_base),
+          -2.0 * static_cast<double>(i) / static_cast<double>(head_dim));
+      const double angle = static_cast<double>(pos) * freq;
+      const float c = static_cast<float>(std::cos(angle));
+      const float s = static_cast<float>(std::sin(angle));
+      const float x0 = hp[2 * i], x1 = hp[2 * i + 1];
+      hp[2 * i] = x0 * c - x1 * s;
+      hp[2 * i + 1] = x0 * s + x1 * c;
+    }
+  }
+}
+
+const std::vector<float>& InferenceSession::step(int32_t token) {
+  const auto& cfg = model_.config();
+  APOLLO_CHECK(token >= 0 && token < cfg.vocab);
+  const int64_t hidden = cfg.hidden;
+  const int64_t head_dim = hidden / cfg.n_heads;
+  const float scale = 1.f / std::sqrt(static_cast<float>(head_dim));
+
+  // Embedding lookup.
+  const float* emb = model_.tok_embed().value.row(token);
+  for (int64_t i = 0; i < hidden; ++i) h_[static_cast<size_t>(i)] = emb[i];
+
+  // The RoPE position matches the tape path, whose positions restart every
+  // seq_len rows; for pure decode we keep monotone positions and instead
+  // bound the attention window to the last seq_len cache entries.
+  const int pos = position_ % cfg.seq_len;
+
+  for (size_t l = 0; l < caches_.size(); ++l) {
+    const auto& lay = model_.layers()[l];
+    LayerCache& cache = caches_[l];
+
+    // Attention block.
+    rmsnorm_vec(h_.data(), lay.attn_norm->value, norm_);
+    matvec(lay.wq->value, norm_, q_);
+    matvec(lay.wk->value, norm_, k_);
+    matvec(lay.wv->value, norm_, v_);
+    rope_vec(q_, pos);
+    rope_vec(k_, pos);
+    cache.k.push_back(k_);
+    cache.v.push_back(v_);
+    // Slide the window: keep at most seq_len cached positions.
+    if (static_cast<int>(cache.k.size()) > cfg.seq_len) {
+      cache.k.erase(cache.k.begin());
+      cache.v.erase(cache.v.begin());
+    }
+
+    const int ctx = static_cast<int>(cache.k.size());
+    std::fill(att_out_.begin(), att_out_.end(), 0.f);
+    std::vector<float> scores(static_cast<size_t>(ctx));
+    for (int hd = 0; hd < cfg.n_heads; ++hd) {
+      const int64_t c0 = static_cast<int64_t>(hd) * head_dim;
+      float mx = -1e30f;
+      for (int t = 0; t < ctx; ++t) {
+        float acc = 0.f;
+        const auto& kt = cache.k[static_cast<size_t>(t)];
+        for (int64_t c = 0; c < head_dim; ++c)
+          acc += q_[static_cast<size_t>(c0 + c)] *
+                 kt[static_cast<size_t>(c0 + c)];
+        scores[static_cast<size_t>(t)] = acc * scale;
+        mx = std::max(mx, scores[static_cast<size_t>(t)]);
+      }
+      double denom = 0;
+      for (int t = 0; t < ctx; ++t) {
+        scores[static_cast<size_t>(t)] =
+            std::exp(scores[static_cast<size_t>(t)] - mx);
+        denom += scores[static_cast<size_t>(t)];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int t = 0; t < ctx; ++t) {
+        const float p = scores[static_cast<size_t>(t)] * inv;
+        const auto& vt = cache.v[static_cast<size_t>(t)];
+        for (int64_t c = 0; c < head_dim; ++c)
+          att_out_[static_cast<size_t>(c0 + c)] +=
+              p * vt[static_cast<size_t>(c0 + c)];
+      }
+    }
+    matvec(lay.wo->value, att_out_, mlp_);  // reuse mlp_ as scratch
+    for (int64_t i = 0; i < hidden; ++i)
+      h_[static_cast<size_t>(i)] += mlp_[static_cast<size_t>(i)];
+
+    // SwiGLU MLP block.
+    rmsnorm_vec(h_.data(), lay.mlp_norm->value, norm_);
+    matvec(lay.w_gate->value, norm_, gate_);
+    matvec(lay.w_up->value, norm_, up_);
+    for (size_t i = 0; i < gate_.size(); ++i) {
+      const float sig = 1.f / (1.f + std::exp(-gate_[i]));
+      gate_[i] = gate_[i] * sig * up_[i];
+    }
+    matvec(lay.w_down->value, gate_, mlp_);
+    for (int64_t i = 0; i < hidden; ++i)
+      h_[static_cast<size_t>(i)] += mlp_[static_cast<size_t>(i)];
+  }
+
+  rmsnorm_vec(h_.data(), model_.final_norm().value, norm_);
+  matvec(model_.lm_head().value, norm_, logits_);
+  ++position_;
+  return logits_;
+}
+
+const std::vector<float>& InferenceSession::prompt(
+    const std::vector<int32_t>& tokens) {
+  APOLLO_CHECK(!tokens.empty());
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) step(tokens[i]);
+  return step(tokens.back());
+}
+
+}  // namespace apollo::nn

@@ -1,0 +1,62 @@
+// Incremental decoding with per-layer KV caches — the inference-side
+// substrate. Where the training stack re-runs a full window per generated
+// token (O(T²) per token through the tape), an InferenceSession feeds one
+// token at a time, caching each layer's rotary-encoded K and V rows, so a
+// decode step is O(context) matvecs with no autograd overhead.
+//
+// The session is validated against the tape forward: feeding the same
+// window token-by-token must reproduce the training-path logits bit-close
+// (tests/inference_test.cpp), which pins the two implementations of the
+// architecture to each other.
+#pragma once
+
+#include <vector>
+
+#include "nn/llama.h"
+
+namespace apollo::nn {
+
+class InferenceSession {
+ public:
+  // The session snapshots nothing: it reads the model's current weights on
+  // every step, so it always reflects the latest training state.
+  explicit InferenceSession(LlamaModel& model);
+
+  // Feed one token; returns the logits row (vocab) for predicting the
+  // *next* token. Within the model's trained window (≤ seq_len tokens) this
+  // exactly matches the training-path forward. Past the window, attention
+  // truncates to the last seq_len cache entries and RoPE positions wrap to
+  // stay inside the trained range — a sliding-window approximation.
+  const std::vector<float>& step(int32_t token);
+
+  // Convenience: feed a whole prompt, return logits after its last token.
+  const std::vector<float>& prompt(const std::vector<int32_t>& tokens);
+
+  // Restart from position 0 with empty caches.
+  void reset();
+
+  int position() const { return position_; }
+
+ private:
+  struct LayerCache {
+    // Rows of rotary-encoded K and raw V, one per cached position.
+    std::vector<std::vector<float>> k;
+    std::vector<std::vector<float>> v;
+  };
+
+  void rmsnorm_vec(const float* x, const Matrix& gain,
+                   std::vector<float>& out) const;
+  // y = W·x for W stored (out, in) — the matvec twin of tape matmul_bt.
+  static void matvec(const Matrix& w, const std::vector<float>& x,
+                     std::vector<float>& y);
+  void rope_vec(std::vector<float>& x, int pos) const;
+
+  LlamaModel& model_;
+  std::vector<LayerCache> caches_;
+  int position_ = 0;
+  std::vector<float> logits_;
+  // Scratch buffers reused across steps.
+  std::vector<float> h_, norm_, q_, k_, v_, att_out_, gate_, up_, mlp_;
+};
+
+}  // namespace apollo::nn

@@ -1,0 +1,38 @@
+// Named trainable parameters. A Parameter owns its value and gradient
+// matrices; the autograd Tape references them as leaves and optimizers
+// mutate them in place. Addresses are stable for the lifetime of the model
+// (parameters are held by unique_ptr).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace apollo::nn {
+
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;  // same shape as value; zeroed by Model::zero_grads()
+
+  // 1-D gains (RMSNorm weights) are too small for low-rank projection;
+  // projected optimizers fall back to dense AdamW on them, exactly as
+  // GaLore/APOLLO apply low-rank treatment only to 2-D weights.
+  bool matrix_shaped = true;
+
+  Parameter(std::string n, int64_t rows, int64_t cols, bool matrix = true)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols),
+        matrix_shaped(matrix) {}
+};
+
+using ParamList = std::vector<Parameter*>;
+
+inline int64_t total_params(const ParamList& ps) {
+  int64_t n = 0;
+  for (const auto* p : ps) n += p->value.size();
+  return n;
+}
+
+}  // namespace apollo::nn

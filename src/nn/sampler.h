@@ -1,0 +1,36 @@
+// Autoregressive sampling from a trained LlamaModel — greedy or
+// temperature/top-k sampling over a sliding context window. Used by the
+// apollo-eval tool to show qualitative output of byte-level models and by
+// tests to check that a trained model emits higher-likelihood continuations
+// than an untrained one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/llama.h"
+
+namespace apollo::nn {
+
+struct SamplerConfig {
+  float temperature = 1.f;  // 0 ⇒ greedy argmax
+  int top_k = 0;            // 0 ⇒ full distribution
+  float top_p = 1.f;        // nucleus sampling: keep the smallest set of
+                            // tokens with cumulative probability ≥ top_p
+  uint64_t seed = 1234;
+};
+
+// Continues `prompt` by `n_tokens`. The model sees a sliding window of its
+// configured seq_len (prompts shorter than the window are left-padded with
+// token 0, whose positions are ignored by causality for later positions).
+// Returns only the newly generated tokens.
+std::vector<int32_t> generate(LlamaModel& model,
+                              const std::vector<int32_t>& prompt,
+                              int n_tokens, const SamplerConfig& cfg = {});
+
+// Mean log-likelihood (nats/token) the model assigns to `tokens` under
+// teacher forcing — the sampler-side twin of validation_loss.
+double sequence_log_likelihood(LlamaModel& model,
+                               const std::vector<int32_t>& tokens);
+
+}  // namespace apollo::nn

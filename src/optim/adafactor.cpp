@@ -1,0 +1,125 @@
+#include "optim/adafactor.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace apollo::optim {
+
+namespace {
+
+// Root-mean-square of a matrix — Adafactor's update-clipping statistic.
+float rms(const Matrix& m) {
+  double acc = 0;
+  for (int64_t i = 0; i < m.size(); ++i)
+    acc += static_cast<double>(m[i]) * m[i];
+  return static_cast<float>(
+      std::sqrt(acc / std::max<int64_t>(1, m.size())));
+}
+
+}  // namespace
+
+void Adafactor::step(const nn::ParamList& params) {
+  ++t_;
+  for (nn::Parameter* p : params) {
+    State& s = states_[p];
+    ++s.local_t;
+    const float beta2t =
+        1.f - std::pow(static_cast<float>(s.local_t), -cfg_.beta2_exponent);
+    if (p->matrix_shaped && p->value.rows() > 1 && p->value.cols() > 1) {
+      update_matrix(p, s, beta2t);
+    } else {
+      update_vector(p, s, beta2t);
+    }
+  }
+}
+
+void Adafactor::update_matrix(nn::Parameter* p, State& s, float beta2t) {
+  const Matrix& g = p->grad;
+  const int64_t m = g.rows(), n = g.cols();
+  if (s.vrow.empty()) {
+    s.vrow.assign(static_cast<size_t>(m), 0.f);
+    s.vcol.assign(static_cast<size_t>(n), 0.f);
+  }
+
+  // Factored second-moment EMA: row/column means of G² + ε₁.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* gr = g.row(i);
+    double acc = 0;
+    for (int64_t j = 0; j < n; ++j)
+      acc += static_cast<double>(gr[j]) * gr[j] + cfg_.eps1;
+    s.vrow[static_cast<size_t>(i)] =
+        beta2t * s.vrow[static_cast<size_t>(i)] +
+        (1.f - beta2t) * static_cast<float>(acc / n);
+  }
+  std::vector<double> colacc(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* gr = g.row(i);
+    for (int64_t j = 0; j < n; ++j)
+      colacc[static_cast<size_t>(j)] +=
+          static_cast<double>(gr[j]) * gr[j] + cfg_.eps1;
+  }
+  for (int64_t j = 0; j < n; ++j)
+    s.vcol[static_cast<size_t>(j)] =
+        beta2t * s.vcol[static_cast<size_t>(j)] +
+        (1.f - beta2t) * static_cast<float>(colacc[static_cast<size_t>(j)] / m);
+
+  // V̂_ij = vrow_i · vcol_j / mean(vrow): rank-1 reconstruction.
+  double row_mean = 0;
+  for (float v : s.vrow) row_mean += v;
+  row_mean /= static_cast<double>(m);
+  const float inv_row_mean =
+      row_mean > 0 ? static_cast<float>(1.0 / row_mean) : 0.f;
+
+  Matrix update(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* gr = g.row(i);
+    float* ur = update.row(i);
+    const float vr = s.vrow[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < n; ++j) {
+      const float vhat = vr * s.vcol[static_cast<size_t>(j)] * inv_row_mean;
+      ur[j] = gr[j] / (std::sqrt(std::max(vhat, cfg_.eps1)) + 1e-12f);
+    }
+  }
+  // RMS clipping: scale down if RMS(U) exceeds the threshold.
+  const float u_rms = rms(update);
+  if (u_rms > cfg_.clip_threshold)
+    scale_inplace(update, cfg_.clip_threshold / u_rms);
+
+  if (cfg_.beta1 > 0.f) {
+    if (s.m.size() == 0) s.m.reshape_discard(m, n);
+    for (int64_t i = 0; i < update.size(); ++i) {
+      s.m[i] = cfg_.beta1 * s.m[i] + (1.f - cfg_.beta1) * update[i];
+      update[i] = s.m[i];
+    }
+  }
+
+  for (int64_t i = 0; i < p->value.size(); ++i)
+    p->value[i] -= lr_ * (update[i] + cfg_.weight_decay * p->value[i]);
+}
+
+void Adafactor::update_vector(nn::Parameter* p, State& s, float beta2t) {
+  const Matrix& g = p->grad;
+  if (s.vfull.size() == 0) s.vfull.reshape_discard(g.rows(), g.cols());
+  Matrix update(g.rows(), g.cols());
+  for (int64_t i = 0; i < g.size(); ++i) {
+    s.vfull[i] = beta2t * s.vfull[i] + (1.f - beta2t) * (g[i] * g[i] + cfg_.eps1);
+    update[i] = g[i] / (std::sqrt(std::max(s.vfull[i], cfg_.eps1)) + 1e-12f);
+  }
+  const float u_rms = rms(update);
+  if (u_rms > cfg_.clip_threshold)
+    scale_inplace(update, cfg_.clip_threshold / u_rms);
+  for (int64_t i = 0; i < p->value.size(); ++i)
+    p->value[i] -= lr_ * (update[i] + cfg_.weight_decay * p->value[i]);
+}
+
+int64_t Adafactor::state_bytes() const {
+  int64_t b = 0;
+  for (const auto& [k, s] : states_) {
+    b += static_cast<int64_t>(s.vrow.size() + s.vcol.size()) * 4;
+    b += (s.vfull.size() + s.m.size()) * 4;
+  }
+  return b;
+}
+
+}  // namespace apollo::optim

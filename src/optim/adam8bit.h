@@ -1,0 +1,62 @@
+// 8-bit AdamW: full-rank moments stored block-quantized (bitsandbytes-style
+// dynamic 8-bit with per-block absmax scales) — the "8-bit Adam" baseline of
+// Table 3. Updates run in fp32 on dequantized blocks and are written back
+// quantized, so persistent state is ~1 byte/element per moment.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+
+#include "optim/optimizer.h"
+#include "quant/quant.h"
+
+namespace apollo::optim {
+
+class Adam8bit : public Optimizer {
+ public:
+  explicit Adam8bit(const AdamHyper& hp = {}) : hp_(hp) {}
+
+  void step(const nn::ParamList& params) override {
+    ++t_;
+    const float b1 = hp_.beta1, b2 = hp_.beta2;
+    const float bc1 = 1.f - std::pow(b1, static_cast<float>(t_));
+    const float bc2 = 1.f - std::pow(b2, static_cast<float>(t_));
+    for (nn::Parameter* p : params) {
+      State& s = states_[p];
+      const Matrix& g = p->grad;
+      if (!s.m) {
+        s.m = std::make_unique<BlockQuantized>(g.rows(), g.cols(), true);
+        s.v = std::make_unique<BlockQuantized>(g.rows(), g.cols(), false);
+      }
+      Matrix m = s.m->load();
+      Matrix v = s.v->load();
+      for (int64_t i = 0; i < g.size(); ++i) {
+        m[i] = b1 * m[i] + (1.f - b1) * g[i];
+        v[i] = b2 * v[i] + (1.f - b2) * g[i] * g[i];
+        p->value[i] -= lr_ * ((m[i] / bc1) /
+                                  (std::sqrt(v[i] / bc2) + hp_.eps) +
+                              hp_.weight_decay * p->value[i]);
+      }
+      s.m->store(m);
+      s.v->store(v);
+    }
+  }
+
+  std::string name() const override { return "8-bit Adam"; }
+  int64_t state_bytes() const override {
+    int64_t b = 0;
+    for (const auto& [k, s] : states_)
+      if (s.m) b += s.m->bytes() + s.v->bytes();
+    return b;
+  }
+
+ private:
+  struct State {
+    std::unique_ptr<BlockQuantized> m, v;
+  };
+  AdamHyper hp_;
+  std::unordered_map<const nn::Parameter*, State> states_;
+};
+
+}  // namespace apollo::optim

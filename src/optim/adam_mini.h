@@ -1,0 +1,75 @@
+// Adam-mini (Zhang et al., 2024b): keep the full first moment but collapse
+// the second moment to one scalar per parameter block. We use one block per
+// output channel (row) for matrix weights — the paper's observation that a
+// block-wise V suffices for learning-rate adaptation, and the "orthogonal
+// idea stream" APOLLO builds on (APOLLO additionally compresses M and V into
+// a low-rank auxiliary space). Memory: mn (M) + m (V) per m×n weight — i.e.
+// it only halves optimizer state, which is exactly the limitation the paper
+// calls out ("full-rank first momentum in Adam-mini").
+#pragma once
+
+#include <cmath>
+#include <unordered_map>
+
+#include "optim/optimizer.h"
+#include "tensor/matrix.h"
+
+namespace apollo::optim {
+
+class AdamMini : public Optimizer {
+ public:
+  explicit AdamMini(const AdamHyper& hp = {}) : hp_(hp) {}
+
+  void step(const nn::ParamList& params) override {
+    ++t_;
+    const float b1 = hp_.beta1, b2 = hp_.beta2;
+    const float bc1 = 1.f - std::pow(b1, static_cast<float>(t_));
+    const float bc2 = 1.f - std::pow(b2, static_cast<float>(t_));
+    for (nn::Parameter* p : params) {
+      State& s = states_[p];
+      const Matrix& g = p->grad;
+      const int64_t rows = g.rows(), cols = g.cols();
+      if (s.m.size() == 0) {
+        s.m.reshape_discard(rows, cols);
+        s.v.assign(static_cast<size_t>(rows), 0.f);
+      }
+      for (int64_t r = 0; r < rows; ++r) {
+        // Block mean of squared gradients for this row.
+        const float* gr = g.row(r);
+        double sq = 0;
+        for (int64_t c = 0; c < cols; ++c)
+          sq += static_cast<double>(gr[c]) * gr[c];
+        float& v = s.v[static_cast<size_t>(r)];
+        v = b2 * v + (1.f - b2) * static_cast<float>(sq / cols);
+        const float denom = std::sqrt(v / bc2) + hp_.eps;
+
+        float* mr = s.m.row(r);
+        float* wr = p->value.row(r);
+        for (int64_t c = 0; c < cols; ++c) {
+          mr[c] = b1 * mr[c] + (1.f - b1) * gr[c];
+          wr[c] -= lr_ * ((mr[c] / bc1) / denom +
+                          hp_.weight_decay * wr[c]);
+        }
+      }
+    }
+  }
+
+  std::string name() const override { return "Adam-mini"; }
+  int64_t state_bytes() const override {
+    int64_t b = 0;
+    for (const auto& [k, s] : states_)
+      b += (s.m.size() + static_cast<int64_t>(s.v.size())) *
+           static_cast<int64_t>(sizeof(float));
+    return b;
+  }
+
+ private:
+  struct State {
+    Matrix m;
+    std::vector<float> v;  // one scalar per row-block
+  };
+  AdamHyper hp_;
+  std::unordered_map<const nn::Parameter*, State> states_;
+};
+
+}  // namespace apollo::optim

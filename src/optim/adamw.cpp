@@ -1,0 +1,24 @@
+#include "optim/adamw.h"
+
+#include "tensor/serialize.h"
+
+namespace apollo::optim {
+
+namespace {
+std::vector<const void*> keys_of(const nn::ParamList& params) {
+  std::vector<const void*> keys;
+  keys.reserve(params.size());
+  for (const nn::Parameter* p : params) keys.push_back(p);
+  return keys;
+}
+}  // namespace
+
+bool AdamW::save_state(std::FILE* f, const nn::ParamList& params) const {
+  return write_pod(f, t_) && core_.save(f, keys_of(params));
+}
+
+bool AdamW::load_state(std::FILE* f, const nn::ParamList& params) {
+  return read_pod(f, t_) && core_.load(f, keys_of(params));
+}
+
+}  // namespace apollo::optim

@@ -1,0 +1,28 @@
+// Full-rank AdamW (Loshchilov & Hutter) — the paper's primary baseline.
+#pragma once
+
+#include "optim/dense_adam.h"
+
+namespace apollo::optim {
+
+class AdamW : public Optimizer {
+ public:
+  explicit AdamW(const AdamHyper& hp = {}) : core_(hp) {}
+
+  void step(const nn::ParamList& params) override {
+    ++t_;
+    for (nn::Parameter* p : params)
+      core_.update(p, p->value, p->grad, lr_, t_);
+  }
+
+  std::string name() const override { return "AdamW"; }
+  int64_t state_bytes() const override { return core_.state_bytes(); }
+
+  bool save_state(std::FILE* f, const nn::ParamList& params) const override;
+  bool load_state(std::FILE* f, const nn::ParamList& params) override;
+
+ private:
+  DenseAdamCore core_;
+};
+
+}  // namespace apollo::optim

@@ -1,0 +1,63 @@
+// AdamW with BF16-stored moments: compute in fp32, persist M and V in
+// bfloat16 — the storage convention behind the paper's memory estimates
+// ("all experiments in BF16"). Together with Adam8bit this completes the
+// state-precision ladder fp32 → bf16 → int8 exercised by
+// bench_ablation_precision.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+
+#include "optim/optimizer.h"
+#include "quant/bf16.h"
+
+namespace apollo::optim {
+
+class AdamWBf16 : public Optimizer {
+ public:
+  explicit AdamWBf16(const AdamHyper& hp = {}) : hp_(hp) {}
+
+  void step(const nn::ParamList& params) override {
+    ++t_;
+    const float b1 = hp_.beta1, b2 = hp_.beta2;
+    const float bc1 = 1.f - std::pow(b1, static_cast<float>(t_));
+    const float bc2 = 1.f - std::pow(b2, static_cast<float>(t_));
+    for (nn::Parameter* p : params) {
+      State& s = states_[p];
+      const Matrix& g = p->grad;
+      if (!s.m) {
+        s.m = std::make_unique<Bf16Buffer>(g.rows(), g.cols());
+        s.v = std::make_unique<Bf16Buffer>(g.rows(), g.cols());
+      }
+      Matrix m = s.m->load();
+      Matrix v = s.v->load();
+      for (int64_t i = 0; i < g.size(); ++i) {
+        m[i] = b1 * m[i] + (1.f - b1) * g[i];
+        v[i] = b2 * v[i] + (1.f - b2) * g[i] * g[i];
+        p->value[i] -= lr_ * ((m[i] / bc1) /
+                                  (std::sqrt(v[i] / bc2) + hp_.eps) +
+                              hp_.weight_decay * p->value[i]);
+      }
+      s.m->store(m);
+      s.v->store(v);
+    }
+  }
+
+  std::string name() const override { return "AdamW (bf16 states)"; }
+  int64_t state_bytes() const override {
+    int64_t b = 0;
+    for (const auto& [k, s] : states_)
+      if (s.m) b += s.m->bytes() + s.v->bytes();
+    return b;
+  }
+
+ private:
+  struct State {
+    std::unique_ptr<Bf16Buffer> m, v;
+  };
+  AdamHyper hp_;
+  std::unordered_map<const nn::Parameter*, State> states_;
+};
+
+}  // namespace apollo::optim

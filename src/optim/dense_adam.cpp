@@ -1,0 +1,56 @@
+#include "optim/dense_adam.h"
+
+#include <cmath>
+
+#include "tensor/serialize.h"
+
+namespace apollo::optim {
+
+void DenseAdamCore::update(const void* key, Matrix& value,
+                           const Matrix& grad, float lr, int64_t t) {
+  State& s = states_[key];
+  if (s.m.size() == 0) {
+    s.m.reshape_discard(grad.rows(), grad.cols());
+    s.v.reshape_discard(grad.rows(), grad.cols());
+  }
+  const float b1 = hp_.beta1, b2 = hp_.beta2;
+  const float bc1 = 1.f - std::pow(b1, static_cast<float>(t));
+  const float bc2 = 1.f - std::pow(b2, static_cast<float>(t));
+  const int64_t n = grad.size();
+  for (int64_t i = 0; i < n; ++i) {
+    const float g = grad[i];
+    s.m[i] = b1 * s.m[i] + (1.f - b1) * g;
+    s.v[i] = b2 * s.v[i] + (1.f - b2) * g * g;
+    const float mhat = s.m[i] / bc1;
+    const float vhat = s.v[i] / bc2;
+    value[i] -= lr * (mhat / (std::sqrt(vhat) + hp_.eps) +
+                      hp_.weight_decay * value[i]);
+  }
+}
+
+bool DenseAdamCore::save(std::FILE* f,
+                         const std::vector<const void*>& keys) const {
+  for (const void* key : keys) {
+    auto it = states_.find(key);
+    static const Matrix kEmpty;
+    const Matrix& m = it == states_.end() ? kEmpty : it->second.m;
+    const Matrix& v = it == states_.end() ? kEmpty : it->second.v;
+    if (!write_matrix(f, m) || !write_matrix(f, v)) return false;
+  }
+  return true;
+}
+
+bool DenseAdamCore::load(std::FILE* f, const std::vector<const void*>& keys) {
+  states_.clear();
+  for (const void* key : keys) {
+    Matrix m, v;
+    if (!read_matrix(f, m) || !read_matrix(f, v)) return false;
+    if (m.size() == 0) continue;  // key had no state when saved
+    State& s = states_[key];
+    s.m = std::move(m);
+    s.v = std::move(v);
+  }
+  return true;
+}
+
+}  // namespace apollo::optim

@@ -1,0 +1,48 @@
+// A reusable full-rank AdamW core. Besides backing the AdamW baseline it is
+// embedded by every projected optimizer (GaLore/Fira/APOLLO/…) to handle the
+// parameters that are *not* low-rank-projected (1-D RMSNorm gains), matching
+// how the reference implementations treat non-2D tensors.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/matrix.h"
+
+namespace apollo::optim {
+
+class DenseAdamCore {
+ public:
+  explicit DenseAdamCore(const AdamHyper& hp) : hp_(hp) {}
+
+  // One AdamW update of `value` from `grad`; `t` is the 1-based step index
+  // used for bias correction. State is keyed by the parameter pointer.
+  void update(const void* key, Matrix& value, const Matrix& grad,
+              float lr, int64_t t);
+
+  int64_t state_bytes() const {
+    int64_t b = 0;
+    for (const auto& [k, s] : states_)
+      b += (s.m.size() + s.v.size()) * static_cast<int64_t>(sizeof(float));
+    return b;
+  }
+
+  void reset() { states_.clear(); }
+  // Drop the moments of one key (ReLoRA's optimizer-state reset on merge).
+  void reset_key(const void* key) { states_.erase(key); }
+
+  // Serialize the moments of `keys` (in order; absent keys are written as
+  // empty matrices). Used by the owning optimizer's save_state.
+  bool save(std::FILE* f, const std::vector<const void*>& keys) const;
+  bool load(std::FILE* f, const std::vector<const void*>& keys);
+
+ private:
+  struct State {
+    Matrix m, v;
+  };
+  AdamHyper hp_;
+  std::unordered_map<const void*, State> states_;
+};
+
+}  // namespace apollo::optim

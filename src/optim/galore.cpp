@@ -1,0 +1,149 @@
+#include "optim/galore.h"
+
+#include <cmath>
+
+#include "linalg/svd.h"
+#include "tensor/ops.h"
+
+namespace apollo::optim {
+
+GaLore::GaLore(const GaloreConfig& cfg, std::string display_name)
+    : cfg_(cfg), display_name_(std::move(display_name)), dense_(cfg.hyper),
+      seeder_(cfg.seed) {
+  APOLLO_CHECK(cfg.rank >= 1);
+}
+
+void GaLore::step(const nn::ParamList& params) {
+  ++t_;
+  for (nn::Parameter* p : params) {
+    if (!p->matrix_shaped || std::min(p->value.rows(), p->value.cols()) <=
+                                 cfg_.rank) {
+      // 1-D gains and matrices already at/below the target rank get dense
+      // AdamW (projection would not save anything).
+      dense_.update(p, p->value, p->grad, lr_, t_);
+      continue;
+    }
+    update_matrix_param(p);
+  }
+}
+
+void GaLore::update_matrix_param(nn::Parameter* p) {
+  State& s = states_[p];
+  const Matrix& g = p->grad;
+  const int64_t r = cfg_.rank;
+
+  if (s.local_t == 0) {
+    s.side = natural_side(g.rows(), g.cols());
+    s.proj_seed = seeder_.split();
+  }
+  const bool refresh = s.local_t % cfg_.update_freq == 0;
+  ++s.local_t;
+
+  // --- projector ----------------------------------------------------------
+  // GoLore mode: fall back to random projections once the switch point is
+  // reached (gradient noise dominates late; random projections provably
+  // suffice there — He et al., 2024).
+  const ProjKind kind = (cfg_.switch_to_random_after >= 0 &&
+                         s.local_t > cfg_.switch_to_random_after)
+                            ? ProjKind::kRandom
+                            : cfg_.proj;
+  Matrix proj;  // the projector used this step
+  if (kind == ProjKind::kSvd) {
+    if (refresh) {
+      s.projector = s.side == ProjectionSide::kLeft
+                        ? svd_left_projector(g, r)
+                        : svd_right_projector(g, r);
+    }
+    proj = s.projector;
+  } else {
+    // Random projector: never stored — regenerated from the seed, which is
+    // re-drawn every update_freq steps (new subspace directions).
+    s.projector.reshape_discard(0, 0);  // drop any stored SVD projector
+    if (refresh && s.local_t > 1) s.proj_seed = seeder_.split();
+    const int64_t small_dim =
+        s.side == ProjectionSide::kLeft ? g.rows() : g.cols();
+    proj = gaussian_projection(r, small_dim, s.proj_seed);
+  }
+
+  // --- subspace AdamW ------------------------------------------------------
+  Matrix rg = project(g, proj, s.side);
+  if (s.m.size() == 0) {
+    s.m.reshape_discard(rg.rows(), rg.cols());
+    s.v.reshape_discard(rg.rows(), rg.cols());
+    if (cfg_.quantize_states) {
+      s.qm = std::make_unique<BlockQuantized>(rg.rows(), rg.cols(), true);
+      s.qv = std::make_unique<BlockQuantized>(rg.rows(), rg.cols(), false);
+    }
+  }
+  if (cfg_.quantize_states) {
+    // Dequantize moments, update in fp32 below, requantize at the end.
+    s.m = s.qm->load();
+    s.v = s.qv->load();
+  }
+
+  const float b1 = cfg_.hyper.beta1, b2 = cfg_.hyper.beta2;
+  const float bc1 = 1.f - std::pow(b1, static_cast<float>(s.local_t));
+  const float bc2 = 1.f - std::pow(b2, static_cast<float>(s.local_t));
+  Matrix norm_update(rg.rows(), rg.cols());
+  for (int64_t i = 0; i < rg.size(); ++i) {
+    s.m[i] = b1 * s.m[i] + (1.f - b1) * rg[i];
+    s.v[i] = b2 * s.v[i] + (1.f - b2) * rg[i] * rg[i];
+    norm_update[i] = (s.m[i] / bc1) /
+                     (std::sqrt(s.v[i] / bc2) + cfg_.hyper.eps);
+  }
+  if (cfg_.quantize_states) {
+    s.qm->store(s.m);
+    s.qv->store(s.v);
+    s.m.reshape_discard(0, 0);
+    s.v.reshape_discard(0, 0);
+  }
+
+  // --- back-projected update ----------------------------------------------
+  Matrix update = project_back(norm_update, proj, s.side);
+  scale_inplace(update, cfg_.scale);
+
+  if (cfg_.fira_residual) {
+    // Fira: add (G − P⁺PG) rescaled per channel by ||Ñ[:,j]||/||R[:,j]||,
+    // guarded by the norm-growth limiter.
+    Matrix residual = g;
+    sub_inplace(residual, project_back(rg, proj, s.side));
+    std::vector<float> nn_norm, rr_norm;
+    if (s.side == ProjectionSide::kLeft) {
+      nn_norm = col_norms(norm_update);
+      rr_norm = col_norms(rg);
+    } else {
+      nn_norm = row_norms(norm_update);
+      rr_norm = row_norms(rg);
+    }
+    std::vector<float> phi(nn_norm.size());
+    for (size_t j = 0; j < phi.size(); ++j)
+      phi[j] = rr_norm[j] > 1e-30f ? nn_norm[j] / rr_norm[j] : 0.f;
+    if (s.side == ProjectionSide::kLeft)
+      scale_cols_inplace(residual, phi);
+    else
+      scale_rows_inplace(residual, phi);
+    s.limiter.apply(residual);
+    add_inplace(update, residual);
+  }
+
+  // --- apply ----------------------------------------------------------------
+  const float wd = cfg_.hyper.weight_decay;
+  for (int64_t i = 0; i < p->value.size(); ++i)
+    p->value[i] -= lr_ * (update[i] + wd * p->value[i]);
+}
+
+int64_t GaLore::state_bytes() const {
+  int64_t b = dense_.state_bytes();
+  for (const auto& [k, s] : states_) {
+    b += s.projector.size() * static_cast<int64_t>(sizeof(float));
+    b += (s.m.size() + s.v.size()) * static_cast<int64_t>(sizeof(float));
+    if (s.qm) b += s.qm->bytes() + s.qv->bytes();
+    b += 8;  // projection seed
+    if (cfg_.fira_residual)
+      b += NormGrowthLimiter::state_floats() *
+           static_cast<int64_t>(sizeof(float));
+  }
+  return b;
+}
+
+}  // namespace apollo::optim

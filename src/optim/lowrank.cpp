@@ -1,0 +1,145 @@
+#include "optim/lowrank.h"
+
+#include <cmath>
+
+#include "linalg/svd.h"
+#include "tensor/ops.h"
+
+namespace apollo::optim {
+
+LowRankAdapter::LowRankAdapter(const AdapterConfig& cfg)
+    : cfg_(cfg), factor_adam_(cfg.hyper), dense_(cfg.hyper), rng_(cfg.seed) {
+  APOLLO_CHECK(cfg.rank >= 1);
+}
+
+std::string LowRankAdapter::name() const {
+  switch (cfg_.kind) {
+    case AdapterKind::kFactorized: return "Low-Rank";
+    case AdapterKind::kLora: return "LoRA";
+    case AdapterKind::kRelora: return "ReLoRA";
+    case AdapterKind::kDora: return "DoRA";
+  }
+  return "?";
+}
+
+void LowRankAdapter::init_state(nn::Parameter* p, State& s) {
+  const int64_t out = p->value.rows(), in = p->value.cols();
+  const int64_t r = cfg_.rank;
+  s.a.reshape_discard(r, in);
+  s.b.reshape_discard(out, r);
+  if (cfg_.kind == AdapterKind::kFactorized) {
+    // Rank-r truncated SVD of the initial weight so training starts from a
+    // sensible function; the rank constraint (not the init) is what makes
+    // this baseline weak at pre-training.
+    SvdResult d = svd(p->value);
+    for (int64_t i = 0; i < out; ++i)
+      for (int64_t j = 0; j < r; ++j)
+        s.b.at(i, j) = d.u.at(i, j) *
+                       std::sqrt(d.sigma[static_cast<size_t>(j)]);
+    for (int64_t i = 0; i < r; ++i)
+      for (int64_t j = 0; j < in; ++j)
+        s.a.at(i, j) = std::sqrt(d.sigma[static_cast<size_t>(i)]) *
+                       d.v.at(j, i);
+  } else {
+    s.w0 = p->value;
+    // Kaiming-style A, zero B — the adapter starts as the identity map.
+    s.a.fill_gaussian(rng_, 0.f,
+                      1.f / std::sqrt(static_cast<float>(in)));
+    s.b.zero();
+    if (cfg_.kind == AdapterKind::kDora) {
+      s.mag.reshape_discard(out, 1);
+      auto norms = row_norms(p->value);
+      for (int64_t i = 0; i < out; ++i)
+        s.mag.at(i, 0) = norms[static_cast<size_t>(i)];
+    }
+  }
+}
+
+void LowRankAdapter::recompose(nn::Parameter* p, State& s) {
+  Matrix w = matmul(s.b, s.a);
+  if (cfg_.kind != AdapterKind::kFactorized) add_inplace(w, s.w0);
+  if (cfg_.kind == AdapterKind::kDora) {
+    // W = mag_i · row-normalized(W0 + B·A)
+    auto norms = row_norms(w);
+    for (int64_t i = 0; i < w.rows(); ++i) {
+      const float n = norms[static_cast<size_t>(i)];
+      const float scale = n > 1e-12f ? s.mag.at(i, 0) / n : 0.f;
+      float* row = w.row(i);
+      for (int64_t c = 0; c < w.cols(); ++c) row[c] *= scale;
+    }
+  }
+  p->value = std::move(w);
+}
+
+void LowRankAdapter::step(const nn::ParamList& params) {
+  ++t_;
+  for (nn::Parameter* p : params) {
+    if (!p->matrix_shaped ||
+        std::min(p->value.rows(), p->value.cols()) <= cfg_.rank) {
+      dense_.update(p, p->value, p->grad, lr_, t_);
+      continue;
+    }
+    State& s = states_[p];
+    if (!s.initialized) {
+      init_state(p, s);
+      s.initialized = true;
+    }
+    ++s.local_t;
+
+    Matrix g = p->grad;  // dense dL/dW
+    if (cfg_.kind == AdapterKind::kDora) {
+      // First-order DoRA: train the row magnitudes on the direction-aligned
+      // component, pass the rescaled gradient to the direction factors.
+      Matrix dir = matmul(s.b, s.a);
+      add_inplace(dir, s.w0);
+      auto norms = row_norms(dir);
+      Matrix dmag(s.mag.rows(), 1);
+      for (int64_t i = 0; i < g.rows(); ++i) {
+        const float n = std::max(norms[static_cast<size_t>(i)], 1e-12f);
+        const float* gr = g.row(i);
+        const float* dr = dir.row(i);
+        double dot = 0;
+        for (int64_t c = 0; c < g.cols(); ++c)
+          dot += static_cast<double>(gr[c]) * dr[c] / n;
+        dmag.at(i, 0) = static_cast<float>(dot);
+        // Chain rule through the magnitude rescaling (normalization
+        // coupling dropped — first-order approximation).
+        const float rescale = s.mag.at(i, 0) / n;
+        float* grow = g.row(i);
+        for (int64_t c = 0; c < g.cols(); ++c) grow[c] *= rescale;
+      }
+      factor_adam_.update(&s.mag, s.mag, dmag, lr_, s.local_t);
+    }
+
+    // Exact factor gradients for W(+W0) = B·A: dB = G·Aᵀ, dA = Bᵀ·G.
+    Matrix db = matmul_bt(g, s.a);
+    Matrix da = matmul_at(s.b, g);
+    factor_adam_.update(&s.b, s.b, db, lr_, s.local_t);
+    factor_adam_.update(&s.a, s.a, da, lr_, s.local_t);
+    recompose(p, s);
+
+    if (cfg_.kind == AdapterKind::kRelora &&
+        s.local_t % cfg_.merge_freq == 0) {
+      // Merge the adapter into the base and restart from a fresh subspace —
+      // this is what lets ReLoRA accumulate rank over time.
+      s.w0 = p->value;
+      s.a.fill_gaussian(rng_, 0.f,
+                        1.f / std::sqrt(static_cast<float>(s.a.cols())));
+      s.b.zero();
+      s.local_t = 0;  // restart bias correction with the fresh subspace
+      factor_adam_.reset_key(&s.a);
+      factor_adam_.reset_key(&s.b);
+    }
+  }
+}
+
+int64_t LowRankAdapter::state_bytes() const {
+  // Factors + their Adam moments + (DoRA) magnitudes.
+  int64_t b = dense_.state_bytes() + factor_adam_.state_bytes();
+  for (const auto& [k, s] : states_)
+    b += (s.a.size() + s.b.size() + s.mag.size()) *
+         static_cast<int64_t>(sizeof(float));
+  return b;
+}
+
+}  // namespace apollo::optim

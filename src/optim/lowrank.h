@@ -1,0 +1,71 @@
+// Weight-side low-rank baselines: Low-Rank factorization (W = U·V), LoRA,
+// ReLoRA and a DoRA-lite variant (Table 2 / Table 4 baselines).
+//
+// These methods restrict the *trainable parameterization* rather than the
+// optimizer state. To keep one training loop for every method, they are
+// implemented as gradient-transforming optimizers: the model still exposes a
+// dense weight W (used by forward/backward), the adapter maintains the
+// factors, derives the factor gradients from the dense gradient by the chain
+// rule (dB = G·Aᵀ, dA = Bᵀ·G — exact, since W is an affine function of the
+// factors), updates the factors with AdamW, and writes the recomposed dense
+// weight back. This is mathematically identical to training the factors
+// directly and reproduces the characteristic behaviour the paper reports
+// (LoRA-family struggles at pre-training, is fine at fine-tuning).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "optim/dense_adam.h"
+#include "optim/optimizer.h"
+#include "tensor/rng.h"
+
+namespace apollo::optim {
+
+enum class AdapterKind {
+  kFactorized,  // W = U·V, both trained (the paper's "Low-Rank" baseline)
+  kLora,        // W = W0 + B·A, W0 frozen
+  kRelora,      // LoRA with periodic merge-and-restart
+  kDora,        // LoRA + trained per-row magnitude (first-order DoRA)
+};
+
+struct AdapterConfig {
+  AdapterKind kind = AdapterKind::kLora;
+  int64_t rank = 4;
+  int merge_freq = 200;  // ReLoRA merge period
+  float lora_alpha = 2.f;  // adapter scale: W0 + (α/r)·B·A... kept =r-normalized
+  AdamHyper hyper;
+  uint64_t seed = 99;
+};
+
+class LowRankAdapter : public Optimizer {
+ public:
+  explicit LowRankAdapter(const AdapterConfig& cfg);
+
+  void step(const nn::ParamList& params) override;
+  std::string name() const override;
+  int64_t state_bytes() const override;
+
+ private:
+  struct State {
+    Matrix w0;      // frozen base (LoRA family); empty for kFactorized
+    Matrix a;       // r×in
+    Matrix b;       // out×r
+    Matrix mag;     // out×1 row magnitudes (kDora only)
+    int64_t local_t = 0;
+    bool initialized = false;
+  };
+
+  void init_state(nn::Parameter* p, State& s);
+  void recompose(nn::Parameter* p, State& s);
+
+  AdapterConfig cfg_;
+  DenseAdamCore factor_adam_;  // states for A and B (keyed by sub-params)
+  DenseAdamCore dense_;        // 1-D fallback
+  // Node-based map: State addresses are stable, so &s.a / &s.b / &s.mag act
+  // as the moment keys inside factor_adam_.
+  std::unordered_map<const nn::Parameter*, State> states_;
+  Rng rng_;
+};
+
+}  // namespace apollo::optim

@@ -1,0 +1,40 @@
+// Norm-growth limiter (Eq. 4, adopted from Fira): if the scaled-gradient
+// norm grows by more than a factor γ between consecutive steps, rescale it
+// back to γ·previous-norm. This is what removes the early-training loss
+// spike of structured learning-rate adaptation (Fig. 3, green vs. orange
+// curve). The limiter's state is a single float per parameter — one of the
+// two "+2" constants in the APOLLO column of Table 1 (the other is the
+// projection seed).
+#pragma once
+
+#include "tensor/ops.h"
+
+namespace apollo::optim {
+
+class NormGrowthLimiter {
+ public:
+  explicit NormGrowthLimiter(float gamma = 1.01f) : gamma_(gamma) {}
+
+  // Rescales `g` in place if its norm grew faster than γ; updates the
+  // tracked norm either way.
+  void apply(Matrix& g) {
+    const double n = frobenius_norm(g);
+    if (prev_ > 0.0 && n > gamma_ * prev_ && n > 0.0) {
+      scale_inplace(g, static_cast<float>(gamma_ * prev_ / n));
+      prev_ = gamma_ * prev_;
+    } else {
+      prev_ = n;
+    }
+  }
+
+  double tracked_norm() const { return prev_; }
+  // Restore the tracked norm when resuming from a checkpoint.
+  void set_tracked_norm(double n) { prev_ = n; }
+  static constexpr int64_t state_floats() { return 1; }
+
+ private:
+  float gamma_;
+  double prev_ = -1.0;
+};
+
+}  // namespace apollo::optim

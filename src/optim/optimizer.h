@@ -1,0 +1,56 @@
+// Optimizer interface shared by AdamW, SGD, Adam-mini, GaLore, Fira, Flora,
+// the LoRA-family adapters, the 8-bit baselines and the APOLLO series.
+//
+// An optimizer consumes the gradients accumulated in nn::Parameter::grad and
+// mutates Parameter::value in place. The learning rate is pushed in every
+// step by the scheduler (train/schedule.h). `state_bytes()` reports the
+// *actual* bytes held in optimizer state, which the tests cross-check
+// against the closed-form Table-1 formulas in sysmodel/memory_model.h.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "nn/parameter.h"
+
+namespace apollo::optim {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  virtual void step(const nn::ParamList& params) = 0;
+  virtual std::string name() const = 0;
+  virtual int64_t state_bytes() const = 0;
+
+  // Optional state serialization for exact training resume. `params` fixes
+  // the key order (states are stored per-parameter in list order). An
+  // optimizer without support returns false; checkpoints then carry only
+  // the weights. Implemented by AdamW and the APOLLO series.
+  virtual bool save_state(std::FILE* /*f*/,
+                          const nn::ParamList& /*params*/) const {
+    return false;
+  }
+  virtual bool load_state(std::FILE* /*f*/, const nn::ParamList& /*params*/) {
+    return false;
+  }
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  int64_t steps_taken() const { return t_; }
+
+ protected:
+  float lr_ = 1e-3f;
+  int64_t t_ = 0;
+};
+
+// Hyper-parameters shared by every Adam-derived method (paper defaults).
+struct AdamHyper {
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.f;
+};
+
+}  // namespace apollo::optim

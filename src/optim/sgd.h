@@ -1,0 +1,54 @@
+// SGD with optional heavy-ball momentum. The paper's memory yardstick:
+// APOLLO-Mini claims "SGD-level memory" — plain SGD holds zero optimizer
+// state, momentum-SGD holds one buffer per weight. SGD is also the
+// known-to-fail-on-transformers baseline (Zhang et al., 2024a) that the
+// integration tests confirm under-performs the adaptive methods.
+#pragma once
+
+#include <unordered_map>
+
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace apollo::optim {
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float momentum = 0.f, float weight_decay = 0.f)
+      : momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void step(const nn::ParamList& params) override {
+    ++t_;
+    for (nn::Parameter* p : params) {
+      if (momentum_ == 0.f) {
+        for (int64_t i = 0; i < p->value.size(); ++i)
+          p->value[i] -=
+              lr_ * (p->grad[i] + weight_decay_ * p->value[i]);
+        continue;
+      }
+      Matrix& buf = momentum_buf_[p];
+      if (buf.size() == 0) buf.reshape_discard(p->grad.rows(), p->grad.cols());
+      for (int64_t i = 0; i < p->value.size(); ++i) {
+        buf[i] = momentum_ * buf[i] + p->grad[i];
+        p->value[i] -= lr_ * (buf[i] + weight_decay_ * p->value[i]);
+      }
+    }
+  }
+
+  std::string name() const override {
+    return momentum_ == 0.f ? "SGD" : "SGD-momentum";
+  }
+  int64_t state_bytes() const override {
+    int64_t b = 0;
+    for (const auto& [k, m] : momentum_buf_)
+      b += m.size() * static_cast<int64_t>(sizeof(float));
+    return b;
+  }
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::unordered_map<const nn::Parameter*, Matrix> momentum_buf_;
+};
+
+}  // namespace apollo::optim

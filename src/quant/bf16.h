@@ -1,0 +1,66 @@
+// BF16 (bfloat16) storage emulation.
+//
+// The paper's memory numbers assume BF16 optimizer states and weights; our
+// compute stays fp32 (exactly like mixed-precision training frameworks that
+// compute in fp32 and *store* in bf16). Bf16Buffer gives any optimizer a
+// 2-byte/element persistent store with round-to-nearest-even conversion —
+// used by the bf16-state variants and the precision-sensitivity tests.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace apollo {
+
+// Round-to-nearest-even fp32 → bf16 code (upper 16 bits of the float).
+inline uint16_t float_to_bf16(float x) {
+  uint32_t bits;
+  std::memcpy(&bits, &x, sizeof bits);
+  // NaN-safe RNE: add the rounding bias derived from bit 16.
+  const uint32_t rounding = 0x7fffu + ((bits >> 16) & 1u);
+  if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu) != 0)
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);  // quiet NaN
+  return static_cast<uint16_t>((bits + rounding) >> 16);
+}
+
+inline float bf16_to_float(uint16_t code) {
+  const uint32_t bits = static_cast<uint32_t>(code) << 16;
+  float x;
+  std::memcpy(&x, &bits, sizeof x);
+  return x;
+}
+
+// A bf16-backed tensor store: load() widens to a Matrix, store() narrows.
+class Bf16Buffer {
+ public:
+  Bf16Buffer() = default;
+  Bf16Buffer(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0) {}
+
+  void store(const Matrix& m) {
+    APOLLO_CHECK(m.rows() == rows_ && m.cols() == cols_);
+    for (int64_t i = 0; i < m.size(); ++i)
+      data_[static_cast<size_t>(i)] = float_to_bf16(m[i]);
+  }
+
+  Matrix load() const {
+    Matrix m(rows_, cols_);
+    for (int64_t i = 0; i < m.size(); ++i)
+      m[i] = bf16_to_float(data_[static_cast<size_t>(i)]);
+    return m;
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t bytes() const { return static_cast<int64_t>(data_.size()) * 2; }
+
+ private:
+  int64_t rows_ = 0, cols_ = 0;
+  std::vector<uint16_t> data_;
+};
+
+}  // namespace apollo

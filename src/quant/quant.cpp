@@ -1,0 +1,128 @@
+#include "quant/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apollo {
+
+GroupQuantized GroupQuantized::quantize(const Matrix& m, int64_t group) {
+  return quantize_impl(m, group, Rounding::kNearest, nullptr);
+}
+
+GroupQuantized GroupQuantized::quantize_stochastic(const Matrix& m, Rng& rng,
+                                                   int64_t group) {
+  return quantize_impl(m, group, Rounding::kStochastic, &rng);
+}
+
+GroupQuantized GroupQuantized::quantize_impl(const Matrix& m, int64_t group,
+                                             Rounding mode, Rng* rng) {
+  APOLLO_CHECK(group >= 1);
+  GroupQuantized out;
+  out.rows_ = m.rows();
+  out.cols_ = m.cols();
+  out.group_ = group;
+  const int64_t n = m.size();
+  const int64_t ngroups = (n + group - 1) / group;
+  out.q_.resize(static_cast<size_t>(n));
+  out.scales_.resize(static_cast<size_t>(ngroups));
+
+  for (int64_t g = 0; g < ngroups; ++g) {
+    const int64_t lo = g * group, hi = std::min(n, lo + group);
+    float absmax = 0.f;
+    for (int64_t i = lo; i < hi; ++i)
+      absmax = std::max(absmax, std::fabs(m[i]));
+    const float scale = absmax > 0.f ? absmax / 127.f : 1.f;
+    out.scales_[static_cast<size_t>(g)] = scale;
+    const float inv = 1.f / scale;
+    for (int64_t i = lo; i < hi; ++i) {
+      const float x = m[i] * inv;
+      float qf;
+      if (mode == Rounding::kNearest) {
+        qf = std::nearbyint(x);
+      } else {
+        // Stochastic rounding: round up with probability = fractional part,
+        // so E[q] = x and repeated requantization stays unbiased.
+        const float fl = std::floor(x);
+        qf = fl + (rng->next_float() < (x - fl) ? 1.f : 0.f);
+      }
+      out.q_[static_cast<size_t>(i)] =
+          static_cast<int8_t>(std::clamp(qf, -127.f, 127.f));
+    }
+  }
+  return out;
+}
+
+Matrix GroupQuantized::dequantize() const {
+  Matrix m(rows_, cols_);
+  const int64_t n = m.size();
+  for (int64_t i = 0; i < n; ++i)
+    m[i] = static_cast<float>(q_[static_cast<size_t>(i)]) *
+           scales_[static_cast<size_t>(i / group_)];
+  return m;
+}
+
+BlockQuantized::BlockQuantized(int64_t rows, int64_t cols, bool signed_values,
+                               int64_t block)
+    : rows_(rows), cols_(cols), block_(block), signed_(signed_values) {
+  const int64_t n = rows * cols;
+  q_.assign(static_cast<size_t>(n), 0);
+  scales_.assign(static_cast<size_t>((n + block - 1) / block), 0.f);
+}
+
+void BlockQuantized::store(const Matrix& m) {
+  APOLLO_CHECK(m.rows() == rows_ && m.cols() == cols_);
+  const int64_t n = m.size();
+  const int64_t nblocks = static_cast<int64_t>(scales_.size());
+  for (int64_t b = 0; b < nblocks; ++b) {
+    const int64_t lo = b * block_, hi = std::min(n, lo + block_);
+    if (signed_) {
+      float mx = 0.f;
+      for (int64_t i = lo; i < hi; ++i) mx = std::max(mx, std::fabs(m[i]));
+      const float scale = mx > 0.f ? mx / 127.f : 1.f;
+      scales_[static_cast<size_t>(b)] = scale;
+      const float inv = 1.f / scale;
+      for (int64_t i = lo; i < hi; ++i)
+        q_[static_cast<size_t>(i)] = static_cast<int8_t>(
+            std::clamp(std::nearbyint(m[i] * inv), -127.f, 127.f));
+    } else {
+      // Non-negative moments (Adam's V) use a square-root code: the stored
+      // 8-bit value quantizes √x, so dequantized spacing is quadratic and
+      // small second-moment entries keep far better relative precision —
+      // the same motivation as bitsandbytes' dynamic 8-bit code.
+      float mx = 0.f;
+      for (int64_t i = lo; i < hi; ++i)
+        mx = std::max(mx, std::sqrt(std::max(0.f, m[i])));
+      const float scale = mx > 0.f ? mx / 255.f : 1.f;
+      scales_[static_cast<size_t>(b)] = scale;
+      const float inv = 1.f / scale;
+      for (int64_t i = lo; i < hi; ++i) {
+        const float root = std::sqrt(std::max(0.f, m[i]));
+        const float qf =
+            std::clamp(std::nearbyint(root * inv), 0.f, 255.f);
+        // Stored with an offset of −128 to fit int8.
+        q_[static_cast<size_t>(i)] =
+            static_cast<int8_t>(static_cast<int>(qf) - 128);
+      }
+    }
+  }
+}
+
+Matrix BlockQuantized::load() const {
+  Matrix m(rows_, cols_);
+  const int64_t n = m.size();
+  for (int64_t i = 0; i < n; ++i) {
+    const float scale = scales_[static_cast<size_t>(i / block_)];
+    if (signed_) {
+      m[i] = static_cast<float>(q_[static_cast<size_t>(i)]) * scale;
+    } else {
+      const float root =
+          static_cast<float>(static_cast<int>(q_[static_cast<size_t>(i)]) +
+                             128) *
+          scale;
+      m[i] = root * root;  // square-root code (see store())
+    }
+  }
+  return m;
+}
+
+}  // namespace apollo

@@ -1,0 +1,67 @@
+#include "sysmodel/throughput_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apollo::sysmodel {
+
+double projector_refresh_seconds(const GpuModelSpec& model, bool svd) {
+  if (!svd) return 0.05;  // RNG re-seed + bookkeeping: negligible
+  // SVD work ∝ Σ m·n·min(m,n); anchored to the paper's measurement of
+  // ~10 minutes (600 s) for LLaMA-7B.
+  auto work = [](const GpuModelSpec& m) {
+    double w = 0;
+    for (auto [r, c] : m.weight_shapes()) {
+      const double mn = static_cast<double>(r) * static_cast<double>(c);
+      w += mn * static_cast<double>(std::min(r, c));
+    }
+    return w;
+  };
+  static const double kAnchor = work(spec_llama_7b());
+  return 600.0 * work(model) / kAnchor;
+}
+
+StepCost step_cost(const GpuModelSpec& model, const GpuSpec& gpu,
+                   int64_t micro_batch, int64_t total_batch, bool svd_proj,
+                   int update_freq) {
+  StepCost c;
+  const double P = static_cast<double>(model.param_count());
+  const double tokens =
+      static_cast<double>(total_batch) * static_cast<double>(model.seq_len);
+  // Utilization saturates with the per-GPU micro-batch.
+  const double per_gpu_batch = static_cast<double>(micro_batch) /
+                               static_cast<double>(gpu.n_gpus);
+  const double mfu =
+      gpu.mfu * per_gpu_batch / (per_gpu_batch + gpu.mfu_half_batch);
+  // Forward + backward ≈ 6 FLOPs per parameter per token.
+  c.compute_s = 6.0 * P * tokens /
+                (static_cast<double>(gpu.n_gpus) * gpu.peak_flops * mfu);
+  // Gradient accumulation: each micro-step pays the fixed overhead.
+  const int64_t accum_steps =
+      std::max<int64_t>(1, (total_batch + micro_batch - 1) /
+                               std::max<int64_t>(1, micro_batch));
+  c.overhead_s = gpu.fixed_overhead * static_cast<double>(accum_steps);
+  c.projector_s = projector_refresh_seconds(model, svd_proj) /
+                  static_cast<double>(update_freq);
+  return c;
+}
+
+ThroughputResult end_to_end_throughput(const GpuModelSpec& model,
+                                       const MethodSpec& method,
+                                       const GpuSpec& gpu,
+                                       int64_t total_batch, bool svd_proj,
+                                       int update_freq) {
+  ThroughputResult r;
+  // Per-GPU micro-batch under the cap, summed over the data-parallel group.
+  const int64_t per_gpu = max_micro_batch(model, method, gpu.mem_cap);
+  r.micro_batch = per_gpu * gpu.n_gpus;
+  if (per_gpu == 0) return r;  // does not fit at all
+  r.cost = step_cost(model, gpu, r.micro_batch, total_batch, svd_proj,
+                     update_freq);
+  const double tokens =
+      static_cast<double>(total_batch) * static_cast<double>(model.seq_len);
+  r.tokens_per_s = tokens / r.cost.total();
+  return r;
+}
+
+}  // namespace apollo::sysmodel

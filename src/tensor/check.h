@@ -1,0 +1,35 @@
+// Lightweight invariant checking used across the library.
+//
+// CHECK() is always on (these guard API misuse, not hot inner loops);
+// DCHECK() compiles out in release builds and is used inside kernels.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace apollo {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace apollo
+
+#define APOLLO_CHECK(cond)                                         \
+  do {                                                             \
+    if (!(cond)) ::apollo::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define APOLLO_CHECK_MSG(cond, msg)                                  \
+  do {                                                               \
+    if (!(cond)) ::apollo::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define APOLLO_DCHECK(cond) ((void)0)
+#else
+#define APOLLO_DCHECK(cond) APOLLO_CHECK(cond)
+#endif

@@ -1,0 +1,21 @@
+#include "tensor/matrix.h"
+
+namespace apollo {
+
+void Matrix::fill_gaussian(Rng& rng, float mean, float stddev) {
+  for (auto& v : data_)
+    v = mean + stddev * static_cast<float>(rng.next_gaussian());
+}
+
+void Matrix::fill_uniform(Rng& rng, float lo, float hi) {
+  for (auto& v : data_) v = lo + (hi - lo) * rng.next_float();
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (int64_t r = 0; r < rows_; ++r)
+    for (int64_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+}  // namespace apollo

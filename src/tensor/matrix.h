@@ -1,0 +1,80 @@
+// Dense row-major float32 matrix — the single tensor type of the library.
+//
+// Everything in this reproduction (gradients, optimizer states, activations)
+// is matrix-shaped, matching the paper's formulation where each trainable
+// weight is W ∈ R^{m×n}. Higher-rank activations (batch × seq × dim) are
+// stored flattened as (batch·seq) × dim and re-interpreted by the ops that
+// need sequence structure (attention).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/check.h"
+#include "tensor/rng.h"
+
+namespace apollo {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.f) {
+    APOLLO_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int64_t r, int64_t c) {
+    APOLLO_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    APOLLO_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  float* row(int64_t r) { return data() + r * cols_; }
+  const float* row(int64_t r) const { return data() + r * cols_; }
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.f); }
+
+  // Resize, discarding contents (zero-initialized).
+  void reshape_discard(int64_t rows, int64_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<size_t>(rows * cols), 0.f);
+  }
+
+  // In-place element access helpers used by samplers.
+  void fill_gaussian(Rng& rng, float mean = 0.f, float stddev = 1.f);
+  void fill_uniform(Rng& rng, float lo, float hi);
+
+  Matrix transposed() const;
+
+  // Deep equality (exact bit comparison) — used by determinism tests.
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace apollo

@@ -1,0 +1,62 @@
+// Dense kernels over Matrix. All kernels are single-threaded and
+// deterministic: the same inputs always produce bit-identical outputs,
+// which the reproducibility tests rely on.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace apollo {
+
+// C = A·B (+ C if accumulate). A: m×k, B: k×n, C: m×n.
+void matmul(Matrix& c, const Matrix& a, const Matrix& b,
+            bool accumulate = false);
+
+// C = Aᵀ·B (+ C if accumulate). A: k×m, B: k×n, C: m×n.
+void matmul_at(Matrix& c, const Matrix& a, const Matrix& b,
+               bool accumulate = false);
+
+// C = A·Bᵀ (+ C if accumulate). A: m×k, B: n×k, C: m×n.
+void matmul_bt(Matrix& c, const Matrix& a, const Matrix& b,
+               bool accumulate = false);
+
+// Convenience allocating forms.
+Matrix matmul(const Matrix& a, const Matrix& b);
+Matrix matmul_at(const Matrix& a, const Matrix& b);
+Matrix matmul_bt(const Matrix& a, const Matrix& b);
+
+// y += alpha * x
+void axpy(Matrix& y, float alpha, const Matrix& x);
+// y = y * alpha
+void scale_inplace(Matrix& y, float alpha);
+// y = y + x
+void add_inplace(Matrix& y, const Matrix& x);
+// y = y - x
+void sub_inplace(Matrix& y, const Matrix& x);
+// y = y ⊙ x
+void hadamard_inplace(Matrix& y, const Matrix& x);
+// out = a - b
+Matrix sub(const Matrix& a, const Matrix& b);
+
+// ℓ2 norm of the whole matrix (Frobenius).
+double frobenius_norm(const Matrix& m);
+// Sum of all elements.
+double sum(const Matrix& m);
+// Mean of all elements.
+double mean(const Matrix& m);
+// Max |element|.
+float abs_max(const Matrix& m);
+
+// Per-column / per-row ℓ2 norms.
+std::vector<float> col_norms(const Matrix& m);
+std::vector<float> row_norms(const Matrix& m);
+
+// Scale column j of m by s[j] (s.size() == cols), or row i by s[i].
+void scale_cols_inplace(Matrix& m, const std::vector<float>& s);
+void scale_rows_inplace(Matrix& m, const std::vector<float>& s);
+
+// Max |a - b| — used by tests.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace apollo

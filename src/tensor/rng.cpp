@@ -1,0 +1,67 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+
+namespace apollo {
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+inline uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  has_cached_ = false;
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::next_below(uint64_t n) {
+  // Lemire's nearly-divisionless bounded generation (simple rejection form).
+  if (n == 0) return 0;
+  uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::next_gaussian() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Box–Muller on (0,1] uniforms to avoid log(0).
+  double u1 = 1.0 - next_double();
+  double u2 = next_double();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_ = r * std::sin(theta);
+  has_cached_ = true;
+  return r * std::cos(theta);
+}
+
+}  // namespace apollo

@@ -1,0 +1,161 @@
+#include "train/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "tensor/serialize.h"
+
+namespace apollo::train {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'P', 'L', 'O'};
+constexpr uint32_t kVersion = 2;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool write_all(std::FILE* f, const void* data, size_t bytes) {
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+bool read_all(std::FILE* f, void* data, size_t bytes) {
+  return std::fread(data, 1, bytes, f) == bytes;
+}
+
+CheckpointResult fail(const std::string& msg) {
+  CheckpointResult r;
+  r.error = msg;
+  return r;
+}
+
+}  // namespace
+
+CheckpointResult save_checkpoint(const std::string& path,
+                                 nn::LlamaModel& model, int64_t step,
+                                 const optim::Optimizer* opt) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return fail("cannot open for writing: " + path);
+
+  auto params = model.parameters();
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  if (!write_all(f.get(), kMagic, 4) ||
+      !write_all(f.get(), &kVersion, sizeof kVersion) ||
+      !write_all(f.get(), &step, sizeof step) ||
+      !write_all(f.get(), &count, sizeof count))
+    return fail("write failed (header): " + path);
+
+  for (const nn::Parameter* p : params) {
+    const uint32_t name_len = static_cast<uint32_t>(p->name.size());
+    const int64_t rows = p->value.rows(), cols = p->value.cols();
+    if (!write_all(f.get(), &name_len, sizeof name_len) ||
+        !write_all(f.get(), p->name.data(), name_len) ||
+        !write_all(f.get(), &rows, sizeof rows) ||
+        !write_all(f.get(), &cols, sizeof cols) ||
+        !write_all(f.get(), p->value.data(),
+                   static_cast<size_t>(p->value.size()) * sizeof(float)))
+      return fail("write failed (param " + p->name + "): " + path);
+  }
+
+  // Optional optimizer section (v2).
+  uint8_t has_opt = 0;
+  CheckpointResult r;
+  if (opt != nullptr) {
+    // Probe support by attempting the save after the flag; unsupported
+    // optimizers (save_state returns false immediately, writing nothing)
+    // fall back to a weights-only file.
+    const long flag_pos = std::ftell(f.get());
+    has_opt = 1;
+    if (!write_all(f.get(), &has_opt, 1) ||
+        !write_string(f.get(), opt->name()))
+      return fail("write failed (optimizer header): " + path);
+    if (opt->save_state(f.get(), model.parameters())) {
+      r.optimizer_state_restored = true;  // saved, symmetrically
+    } else {
+      // Rewind and mark as weights-only.
+      if (std::fseek(f.get(), flag_pos, SEEK_SET) != 0)
+        return fail("seek failed: " + path);
+      has_opt = 0;
+      if (!write_all(f.get(), &has_opt, 1)) return fail("write failed");
+      // Note: ftruncate is unnecessary; readers stop at the flag.
+    }
+  } else {
+    if (!write_all(f.get(), &has_opt, 1))
+      return fail("write failed (optimizer flag): " + path);
+  }
+  r.ok = true;
+  r.step = step;
+  return r;
+}
+
+CheckpointResult load_checkpoint(const std::string& path,
+                                 nn::LlamaModel& model,
+                                 optim::Optimizer* opt) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return fail("cannot open for reading: " + path);
+
+  char magic[4];
+  uint32_t version = 0, count = 0;
+  int64_t step = 0;
+  if (!read_all(f.get(), magic, 4) ||
+      !read_all(f.get(), &version, sizeof version) ||
+      !read_all(f.get(), &step, sizeof step) ||
+      !read_all(f.get(), &count, sizeof count))
+    return fail("truncated header: " + path);
+  if (std::memcmp(magic, kMagic, 4) != 0)
+    return fail("bad magic (not an APOLLO checkpoint): " + path);
+  if (version != 1 && version != kVersion)
+    return fail("unsupported checkpoint version " + std::to_string(version));
+
+  auto params = model.parameters();
+  if (count != params.size())
+    return fail("parameter count mismatch: file has " +
+                std::to_string(count) + ", model has " +
+                std::to_string(params.size()));
+
+  for (nn::Parameter* p : params) {
+    uint32_t name_len = 0;
+    if (!read_all(f.get(), &name_len, sizeof name_len) || name_len > 4096)
+      return fail("corrupt name length near param " + p->name);
+    std::string name(name_len, '\0');
+    int64_t rows = 0, cols = 0;
+    if (!read_all(f.get(), name.data(), name_len) ||
+        !read_all(f.get(), &rows, sizeof rows) ||
+        !read_all(f.get(), &cols, sizeof cols))
+      return fail("truncated param header near " + p->name);
+    if (name != p->name)
+      return fail("parameter name mismatch: file '" + name + "' vs model '" +
+                  p->name + "'");
+    if (rows != p->value.rows() || cols != p->value.cols())
+      return fail("shape mismatch for " + name);
+    if (!read_all(f.get(), p->value.data(),
+                  static_cast<size_t>(p->value.size()) * sizeof(float)))
+      return fail("truncated data for " + name);
+  }
+
+  CheckpointResult r;
+  r.ok = true;
+  r.step = step;
+  if (version < 2) return r;  // v1: weights only
+
+  uint8_t has_opt = 0;
+  if (!read_all(f.get(), &has_opt, 1)) return r;  // tolerate missing tail
+  if (has_opt == 0 || opt == nullptr) return r;
+  std::string opt_name;
+  if (!read_string(f.get(), opt_name))
+    return fail("corrupt optimizer section: " + path);
+  if (opt_name != opt->name()) {
+    // Different optimizer: weights are loaded, state is skipped.
+    return r;
+  }
+  if (!opt->load_state(f.get(), model.parameters()))
+    return fail("failed to restore optimizer state (" + opt_name + ")");
+  r.optimizer_state_restored = true;
+  return r;
+}
+
+}  // namespace apollo::train

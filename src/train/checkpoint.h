@@ -1,0 +1,42 @@
+// Versioned binary checkpointing for model weights and (optionally)
+// optimizer state for exact training resume.
+//
+// Format v2 (little-endian):
+//   magic "APLO" | u32 version | i64 step | u32 param_count |
+//   per param: u32 name_len | name bytes | i64 rows | i64 cols | f32 data[]
+//   u8 has_optimizer | [optimizer name string | opaque optimizer blob]
+// Loading validates magic/version and that every parameter matches the
+// model's name and shape, so a checkpoint from a different configuration is
+// rejected with a readable error instead of silently mis-loading. v1 files
+// (weights only) still load.
+#pragma once
+
+#include <string>
+
+#include "nn/llama.h"
+#include "optim/optimizer.h"
+
+namespace apollo::train {
+
+struct CheckpointResult {
+  bool ok = false;
+  int64_t step = 0;
+  // True when the file carried optimizer state and it was restored.
+  bool optimizer_state_restored = false;
+  std::string error;
+};
+
+// Saves weights; when `opt` is non-null and supports serialization, its
+// state is appended (AdamW and the APOLLO series do; others save weights
+// only).
+CheckpointResult save_checkpoint(const std::string& path,
+                                 nn::LlamaModel& model, int64_t step,
+                                 const optim::Optimizer* opt = nullptr);
+
+// Loads weights; when `opt` is non-null and the file carries a matching
+// optimizer section (same optimizer name), restores it too.
+CheckpointResult load_checkpoint(const std::string& path,
+                                 nn::LlamaModel& model,
+                                 optim::Optimizer* opt = nullptr);
+
+}  // namespace apollo::train

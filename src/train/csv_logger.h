@@ -1,0 +1,50 @@
+// Minimal CSV run logger: writes a header once, then one row per call.
+// Used by benches/examples to emit plot-ready training curves.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace apollo::train {
+
+class CsvLogger {
+ public:
+  // Opens (truncates) `path` and writes the header row. An empty path
+  // disables logging (all calls become no-ops) so callers can thread an
+  // optional logger without branching.
+  CsvLogger(const std::string& path, const std::vector<std::string>& columns)
+      : n_cols_(columns.size()) {
+    if (path.empty()) return;
+    file_.reset(std::fopen(path.c_str(), "w"));
+    APOLLO_CHECK_MSG(file_ != nullptr, "CsvLogger: cannot open file");
+    for (size_t i = 0; i < columns.size(); ++i)
+      std::fprintf(file_.get(), "%s%s", columns[i].c_str(),
+                   i + 1 < columns.size() ? "," : "\n");
+  }
+
+  bool enabled() const { return file_ != nullptr; }
+
+  void row(const std::vector<double>& values) {
+    if (!file_) return;
+    APOLLO_CHECK(values.size() == n_cols_);
+    for (size_t i = 0; i < values.size(); ++i)
+      std::fprintf(file_.get(), "%.6g%s", values[i],
+                   i + 1 < values.size() ? "," : "\n");
+    std::fflush(file_.get());
+  }
+
+ private:
+  struct Closer {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, Closer> file_;
+  size_t n_cols_;
+};
+
+}  // namespace apollo::train

@@ -1,0 +1,62 @@
+#include "train/finetune.h"
+
+#include <algorithm>
+
+namespace apollo::train {
+
+double task_accuracy(nn::LlamaModel& model,
+                     const data::TaskGenerator::Batch& batch) {
+  ag::Tape tape;
+  ag::Var logits_var = model.forward(tape, batch.ids);
+  const Matrix& logits = tape.value(logits_var);
+  int correct = 0;
+  const int n = static_cast<int>(batch.answer_rows.size());
+  for (int i = 0; i < n; ++i) {
+    const int row = batch.answer_rows[static_cast<size_t>(i)];
+    const float* lr = logits.row(row);
+    const auto& choices = batch.choices[static_cast<size_t>(i)];
+    int32_t pred;
+    if (choices.empty()) {
+      pred = 0;
+      for (int64_t v = 1; v < logits.cols(); ++v)
+        if (lr[v] > lr[pred]) pred = static_cast<int32_t>(v);
+    } else {
+      pred = choices[0];
+      for (int32_t c : choices)
+        if (lr[c] > lr[pred]) pred = c;
+    }
+    // The target token sits in `targets` at the answer row.
+    const int32_t truth = batch.targets[static_cast<size_t>(row)];
+    correct += (pred == truth);
+  }
+  return static_cast<double>(correct) / std::max(1, n);
+}
+
+FinetuneResult finetune(nn::LlamaModel& model, optim::Optimizer& opt,
+                        const BatchFn& train_batches,
+                        const BatchFn& eval_batches,
+                        const FinetuneConfig& cfg) {
+  FinetuneResult res;
+  const auto eval_batch = eval_batches(cfg.eval_examples);
+  res.zero_shot = task_accuracy(model, eval_batch);
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    const auto batch = train_batches(cfg.batch);
+    model.zero_grads();
+    ag::Tape tape;
+    ag::Var loss = model.loss(tape, batch.ids, batch.targets);
+    tape.backward(loss);
+    const float frac =
+        cfg.linear_decay
+            ? 1.f - static_cast<float>(step) / static_cast<float>(cfg.steps)
+            : 1.f;
+    opt.set_lr(cfg.lr * frac);
+    opt.step(model.parameters());
+  }
+
+  res.accuracy = task_accuracy(model, eval_batch);
+  res.optimizer_state_bytes = opt.state_bytes();
+  return res;
+}
+
+}  // namespace apollo::train

@@ -1,0 +1,43 @@
+// Fine-tuning harness for the Table 4 / Table 5 reproductions: train a
+// pre-trained backbone on a synthetic downstream task (loss only at the
+// answer position) and evaluate answer-token accuracy, restricted to the
+// choice tokens for multiple-choice tasks.
+#pragma once
+
+#include <functional>
+
+#include "data/tasks.h"
+#include "nn/llama.h"
+#include "optim/optimizer.h"
+
+namespace apollo::train {
+
+struct FinetuneConfig {
+  int steps = 60;
+  int batch = 8;
+  float lr = 3e-4f;   // the paper's fine-tuning LR (Table 9)
+  bool linear_decay = true;
+  int eval_examples = 128;
+};
+
+// Produces one training batch per call.
+using BatchFn = std::function<data::TaskGenerator::Batch(int batch)>;
+
+struct FinetuneResult {
+  double accuracy = 0;       // after fine-tuning
+  double zero_shot = 0;      // before fine-tuning (sanity reference)
+  int64_t optimizer_state_bytes = 0;
+};
+
+// Accuracy of the current model on a batch of task examples: argmax of the
+// answer-position logits over the example's choice set (whole vocabulary if
+// the task is open-ended).
+double task_accuracy(nn::LlamaModel& model,
+                     const data::TaskGenerator::Batch& batch);
+
+FinetuneResult finetune(nn::LlamaModel& model, optim::Optimizer& opt,
+                        const BatchFn& train_batches,
+                        const BatchFn& eval_batches,
+                        const FinetuneConfig& cfg);
+
+}  // namespace apollo::train

@@ -1,0 +1,69 @@
+#include "train/mechanism_eval.h"
+
+#include <cmath>
+
+#include "autograd/tape.h"
+
+namespace apollo::train {
+
+MechanismLoss mechanism_loss(nn::LlamaModel& model,
+                             const data::SyntheticCorpus& corpus,
+                             int batches, int batch, uint64_t seed) {
+  const int seq = model.config().seq_len;
+  Rng rng(seed);
+  MechanismLoss out;
+
+  std::vector<int32_t> tokens;
+  std::vector<data::SyntheticCorpus::Mechanism> mech;
+  std::vector<int32_t> ids(static_cast<size_t>(batch) * seq);
+  std::vector<int32_t> targets(static_cast<size_t>(batch) * seq);
+  std::vector<data::SyntheticCorpus::Mechanism> target_mech(
+      static_cast<size_t>(batch) * seq);
+
+  for (int b = 0; b < batches; ++b) {
+    for (int s = 0; s < batch; ++s) {
+      corpus.sample_sequence_annotated(rng, seq + 1, tokens, mech);
+      const size_t off = static_cast<size_t>(s) * seq;
+      for (int i = 0; i < seq; ++i) {
+        ids[off + static_cast<size_t>(i)] = tokens[static_cast<size_t>(i)];
+        targets[off + static_cast<size_t>(i)] =
+            tokens[static_cast<size_t>(i) + 1];
+        target_mech[off + static_cast<size_t>(i)] =
+            mech[static_cast<size_t>(i) + 1];
+      }
+    }
+    ag::Tape tape;
+    const Matrix& logits = tape.value(model.forward(tape, ids));
+    for (int64_t r = 0; r < logits.rows(); ++r) {
+      const float* row = logits.row(r);
+      float mx = row[0];
+      for (int64_t v = 1; v < logits.cols(); ++v) mx = std::max(mx, row[v]);
+      double denom = 0;
+      for (int64_t v = 0; v < logits.cols(); ++v)
+        denom += std::exp(static_cast<double>(row[v]) - mx);
+      const int32_t tgt = targets[static_cast<size_t>(r)];
+      const double ce =
+          -(static_cast<double>(row[tgt]) - mx - std::log(denom));
+      switch (target_mech[static_cast<size_t>(r)]) {
+        case data::SyntheticCorpus::Mechanism::kMarkov:
+          out.markov += ce;
+          ++out.markov_n;
+          break;
+        case data::SyntheticCorpus::Mechanism::kCopy:
+          out.copy += ce;
+          ++out.copy_n;
+          break;
+        case data::SyntheticCorpus::Mechanism::kUnigram:
+          out.unigram += ce;
+          ++out.unigram_n;
+          break;
+      }
+    }
+  }
+  if (out.markov_n > 0) out.markov /= static_cast<double>(out.markov_n);
+  if (out.copy_n > 0) out.copy /= static_cast<double>(out.copy_n);
+  if (out.unigram_n > 0) out.unigram /= static_cast<double>(out.unigram_n);
+  return out;
+}
+
+}  // namespace apollo::train

@@ -1,0 +1,29 @@
+// Mechanism-resolved evaluation: split validation cross-entropy by the
+// generative mechanism of each target token (Markov transition vs.
+// long-range copy vs. unigram draw). Separates "learned the bigram table"
+// from "learned to attend" — used by bench_ablation_mechanism to check that
+// memory-efficient optimizers learn the *same structure* as AdamW, not just
+// the same average loss.
+#pragma once
+
+#include "data/corpus.h"
+#include "nn/llama.h"
+
+namespace apollo::train {
+
+struct MechanismLoss {
+  double markov = 0;
+  double copy = 0;
+  double unigram = 0;
+  int64_t markov_n = 0;
+  int64_t copy_n = 0;
+  int64_t unigram_n = 0;
+};
+
+// Evaluates `batches` freshly generated annotated batches (batch × the
+// model's seq_len) and returns the mean CE per mechanism.
+MechanismLoss mechanism_loss(nn::LlamaModel& model,
+                             const data::SyntheticCorpus& corpus,
+                             int batches, int batch, uint64_t seed);
+
+}  // namespace apollo::train

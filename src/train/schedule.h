@@ -1,0 +1,42 @@
+// Learning-rate schedule used in all pre-training runs, matching the paper
+// (Appendix A.4): linear warm-up over the first 10% of steps, then cosine
+// annealing down to 10% of the peak learning rate.
+#pragma once
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace apollo::train {
+
+class CosineSchedule {
+ public:
+  CosineSchedule(float peak_lr, int total_steps, float warmup_frac = 0.1f,
+                 float final_frac = 0.1f)
+      : peak_(peak_lr), total_(total_steps),
+        warmup_(std::max(1, static_cast<int>(warmup_frac *
+                                             static_cast<float>(total_steps)))),
+        final_frac_(final_frac) {
+    APOLLO_CHECK(total_steps >= 1);
+  }
+
+  float lr_at(int step) const {
+    if (step < warmup_)
+      return peak_ * static_cast<float>(step + 1) /
+             static_cast<float>(warmup_);
+    const float progress =
+        static_cast<float>(step - warmup_) /
+        static_cast<float>(std::max(1, total_ - warmup_));
+    const float cosine = 0.5f * (1.f + std::cos(
+        3.14159265358979323846f * std::min(1.f, progress)));
+    return peak_ * (final_frac_ + (1.f - final_frac_) * cosine);
+  }
+
+ private:
+  float peak_;
+  int total_;
+  int warmup_;
+  float final_frac_;
+};
+
+}  // namespace apollo::train

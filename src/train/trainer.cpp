@@ -1,0 +1,69 @@
+#include "train/trainer.h"
+
+#include <cmath>
+
+#include "train/schedule.h"
+
+namespace apollo::train {
+
+double validation_loss(nn::LlamaModel& model, const data::ValidationSet& vs) {
+  APOLLO_CHECK(!vs.ids.empty());
+  double total = 0;
+  for (size_t i = 0; i < vs.ids.size(); ++i) {
+    ag::Tape tape;
+    ag::Var loss = model.loss(tape, vs.ids[i], vs.targets[i]);
+    total += tape.value(loss)[0];
+  }
+  return total / static_cast<double>(vs.ids.size());
+}
+
+Trainer::Trainer(nn::LlamaModel& model, optim::Optimizer& opt,
+                 const data::TokenSource& corpus, const TrainConfig& cfg)
+    : model_(model), opt_(opt), corpus_(corpus), cfg_(cfg) {}
+
+TrainResult Trainer::run() {
+  TrainResult res;
+  data::BatchLoader loader(corpus_, cfg_.batch, model_.config().seq_len,
+                           cfg_.data_seed);
+  const data::ValidationSet val = data::make_validation_set(
+      corpus_, cfg_.eval_batches, cfg_.batch, model_.config().seq_len,
+      cfg_.val_seed);
+  CosineSchedule sched(cfg_.lr, cfg_.steps, cfg_.warmup_frac,
+                       cfg_.final_lr_frac);
+
+  std::vector<int32_t> ids, targets;
+  const int accum = std::max(1, cfg_.grad_accum);
+  for (int step = 0; step < cfg_.steps; ++step) {
+    if (qstore_ != nullptr) qstore_->dequantize_into_params();
+    model_.zero_grads();
+    float step_loss = 0.f;
+    for (int micro = 0; micro < accum; ++micro) {
+      loader.next(ids, targets);
+      ag::Tape tape;
+      ag::Var loss = model_.loss(tape, ids, targets);
+      // Mean over micro-batches: seed the backward pass with 1/accum.
+      tape.backward(loss, 1.f / static_cast<float>(accum));
+      step_loss += tape.value(loss)[0] / static_cast<float>(accum);
+      res.peak_activation_bytes =
+          std::max(res.peak_activation_bytes, tape.activation_bytes());
+    }
+    if (cfg_.record_step_losses) res.step_losses.push_back(step_loss);
+
+    opt_.set_lr(sched.lr_at(step));
+    opt_.step(model_.parameters());
+    if (qstore_ != nullptr) qstore_->requantize_from_params();
+
+    if (cfg_.eval_every > 0 && (step + 1) % cfg_.eval_every == 0 &&
+        step + 1 < cfg_.steps) {
+      const double vl = validation_loss(model_, val);
+      res.curve.push_back({step + 1, vl, std::exp(vl)});
+    }
+  }
+  const double vl = validation_loss(model_, val);
+  res.curve.push_back({cfg_.steps, vl, std::exp(vl)});
+  res.final_perplexity = std::exp(vl);
+  res.optimizer_state_bytes = opt_.state_bytes();
+  return res;
+}
+
+}  // namespace apollo::train

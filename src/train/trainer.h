@@ -1,0 +1,72 @@
+// Pre-training loop: batches from the synthetic corpus, forward/backward on
+// a fresh tape per step, LR schedule pushed into the optimizer, optional
+// INT8 weight store (Q- variants), periodic validation-perplexity
+// checkpoints. Every experiment bench drives training through this one loop
+// so methods differ *only* in the optimizer object passed in.
+#pragma once
+
+#include <vector>
+
+#include "core/quantized_weights.h"
+#include "data/corpus.h"
+#include "nn/llama.h"
+#include "optim/optimizer.h"
+
+namespace apollo::train {
+
+struct TrainConfig {
+  int steps = 200;
+  int batch = 4;
+  // Gradient accumulation: each optimizer step accumulates `grad_accum`
+  // micro-batches of `batch` sequences (the paper's fixed-total-batch
+  // protocol: methods with less memory use bigger micro-batches and fewer
+  // accumulation steps for the same total batch).
+  int grad_accum = 1;
+  float lr = 0.01f;          // the paper's untuned APOLLO/GaLore default
+  float warmup_frac = 0.1f;
+  float final_lr_frac = 0.1f;
+  int eval_every = 0;        // 0 ⇒ evaluate only after the final step
+  int eval_batches = 8;
+  uint64_t data_seed = 7;
+  uint64_t val_seed = 7777;
+  bool record_step_losses = false;  // per-step training loss (Fig. 3)
+};
+
+struct EvalPoint {
+  int step = 0;
+  double val_loss = 0;
+  double perplexity = 0;
+};
+
+struct TrainResult {
+  std::vector<EvalPoint> curve;
+  double final_perplexity = 0;
+  std::vector<float> step_losses;
+  int64_t optimizer_state_bytes = 0;
+  int64_t peak_activation_bytes = 0;
+};
+
+// Mean cross-entropy over a validation set (forward only).
+double validation_loss(nn::LlamaModel& model, const data::ValidationSet& vs);
+
+class Trainer {
+ public:
+  Trainer(nn::LlamaModel& model, optim::Optimizer& opt,
+          const data::TokenSource& corpus, const TrainConfig& cfg);
+
+  // Enable Q- mode: weights persist INT8 between steps.
+  void set_quantized_weights(core::QuantizedWeightStore* store) {
+    qstore_ = store;
+  }
+
+  TrainResult run();
+
+ private:
+  nn::LlamaModel& model_;
+  optim::Optimizer& opt_;
+  const data::TokenSource& corpus_;
+  TrainConfig cfg_;
+  core::QuantizedWeightStore* qstore_ = nullptr;
+};
+
+}  // namespace apollo::train

@@ -1,0 +1,122 @@
+// Adafactor tests: factored-V reconstruction, memory accounting, clipping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optim/adafactor.h"
+#include "tensor/ops.h"
+
+namespace apollo {
+namespace {
+
+std::unique_ptr<nn::Parameter> make_param(int64_t rows, int64_t cols,
+                                          uint64_t seed,
+                                          bool matrix = true) {
+  auto p = std::make_unique<nn::Parameter>("w", rows, cols, matrix);
+  Rng rng(seed);
+  p->value.fill_gaussian(rng, 0.f, 1.f);
+  p->grad.fill_gaussian(rng, 0.f, 0.1f);
+  return p;
+}
+
+TEST(Adafactor, StateIsRowPlusCol) {
+  auto p = make_param(16, 64, 1);
+  optim::Adafactor opt;
+  opt.set_lr(1e-3f);
+  opt.step({p.get()});
+  EXPECT_EQ(opt.state_bytes(), (16 + 64) * 4);
+}
+
+TEST(Adafactor, VectorParamsKeepFullV) {
+  auto p = make_param(1, 32, 2, /*matrix=*/false);
+  optim::Adafactor opt;
+  opt.set_lr(1e-3f);
+  opt.step({p.get()});
+  EXPECT_EQ(opt.state_bytes(), 32 * 4);
+}
+
+TEST(Adafactor, DescentDirection) {
+  auto p = make_param(8, 24, 3);
+  Matrix before = p->value;
+  optim::Adafactor opt;
+  opt.set_lr(1e-2f);
+  opt.step({p.get()});
+  Matrix delta = sub(p->value, before);
+  double dot = 0;
+  for (int64_t i = 0; i < delta.size(); ++i)
+    dot += static_cast<double>(delta[i]) * p->grad[i];
+  EXPECT_LT(dot, 0.0);
+}
+
+TEST(Adafactor, RankOneVMatchesUniformColumns) {
+  // If G's squared entries are rank-1 separable (|g_ij| = a_i · b_j), the
+  // factored V̂ is exact, so the update matches element-wise normalization
+  // (up to shared clipping).
+  auto p = std::make_unique<nn::Parameter>("w", 4, 6);
+  p->value.fill(0.f);
+  const float a[4] = {1.f, 2.f, 0.5f, 1.5f};
+  const float b[6] = {1.f, 3.f, 0.25f, 2.f, 1.f, 0.5f};
+  for (int64_t i = 0; i < 4; ++i)
+    for (int64_t j = 0; j < 6; ++j) p->grad.at(i, j) = a[i] * b[j];
+  optim::Adafactor opt;
+  opt.set_lr(1.f);
+  opt.step({p.get()});
+  // All elements of |update| equal (G/√G² = sign), scaled by clipping.
+  float mag = std::fabs(p->value[0]);
+  EXPECT_GT(mag, 0.f);
+  for (int64_t i = 0; i < p->value.size(); ++i)
+    EXPECT_NEAR(std::fabs(p->value[i]), mag, mag * 0.02f);
+}
+
+TEST(Adafactor, ClippingBoundsUpdateRms) {
+  auto p = make_param(8, 24, 4);
+  p->value.fill(0.f);
+  optim::Adafactor opt;
+  opt.set_lr(1.f);
+  opt.step({p.get()});
+  // RMS of the (lr=1) update ≤ clip threshold 1.
+  double acc = 0;
+  for (int64_t i = 0; i < p->value.size(); ++i)
+    acc += static_cast<double>(p->value[i]) * p->value[i];
+  EXPECT_LE(std::sqrt(acc / static_cast<double>(p->value.size())), 1.0001);
+}
+
+TEST(Adafactor, MemoryBelowAdamMiniAboveApolloMini) {
+  const int64_t m = 32, n = 128;
+  auto p = make_param(m, n, 5);
+  optim::Adafactor opt;
+  opt.set_lr(1e-3f);
+  opt.step({p.get()});
+  const int64_t adam_mini = (m * n + m) * 4;
+  const int64_t apollo_mini = (2 * n + 2) * 4;
+  EXPECT_LT(opt.state_bytes(), adam_mini);
+  EXPECT_GT(opt.state_bytes(), apollo_mini / 2);
+}
+
+TEST(Adafactor, OptionalFirstMoment) {
+  optim::AdafactorConfig cfg;
+  cfg.beta1 = 0.9f;
+  auto p = make_param(8, 16, 6);
+  optim::Adafactor opt(cfg);
+  opt.set_lr(1e-3f);
+  opt.step({p.get()});
+  // With momentum on, state grows by a full mn buffer.
+  EXPECT_EQ(opt.state_bytes(), (8 + 16 + 8 * 16) * 4);
+}
+
+TEST(Adafactor, TrainsAQuadratic) {
+  // Minimize ‖W‖² via gradient 2W: Adafactor should shrink the weights.
+  auto p = make_param(6, 10, 7);
+  optim::Adafactor opt;
+  opt.set_lr(0.05f);
+  const double start = frobenius_norm(p->value);
+  for (int s = 0; s < 50; ++s) {
+    for (int64_t i = 0; i < p->value.size(); ++i)
+      p->grad[i] = 2.f * p->value[i];
+    opt.step({p.get()});
+  }
+  EXPECT_LT(frobenius_norm(p->value), start * 0.3);
+}
+
+}  // namespace
+}  // namespace apollo

@@ -1,0 +1,59 @@
+// CLI argument-parser tests.
+#include <gtest/gtest.h>
+
+#include "../tools/args.h"
+
+namespace apollo::tools {
+namespace {
+
+Args parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()),
+              const_cast<char**>(argv.data()));
+}
+
+TEST(Args, ValuesAndDefaults) {
+  auto a = parse({"--steps", "100", "--lr", "0.01", "--name", "apollo"});
+  EXPECT_EQ(a.get_int("steps", 5), 100);
+  EXPECT_DOUBLE_EQ(a.get_double("lr", 1.0), 0.01);
+  EXPECT_EQ(a.get("name", "x"), "apollo");
+  EXPECT_EQ(a.get_int("missing", 7), 7);
+  EXPECT_EQ(a.get("missing2", "dflt"), "dflt");
+}
+
+TEST(Args, BareFlags) {
+  auto a = parse({"--verbose", "--steps", "3"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_FALSE(a.has("quiet"));
+  EXPECT_EQ(a.get_int("steps", 0), 3);
+}
+
+TEST(Args, FlagFollowedByFlagIsBare) {
+  auto a = parse({"--quantize", "--steps", "3"});
+  EXPECT_TRUE(a.has("quantize"));
+  EXPECT_EQ(a.get("quantize", "x"), "");
+}
+
+TEST(Args, UnknownDetection) {
+  auto a = parse({"--known", "1", "--typo", "2"});
+  (void)a.get_int("known", 0);
+  auto unknown = a.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "--typo");
+}
+
+TEST(Args, Positional) {
+  auto a = parse({"file1.txt", "--x", "1", "file2.txt"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "file1.txt");
+  EXPECT_EQ(a.positional()[1], "file2.txt");
+}
+
+TEST(Args, NegativeNumbersAsValues) {
+  // "-1" does not start with "--", so it parses as a value.
+  auto a = parse({"--rank", "-1"});
+  EXPECT_EQ(a.get_int("rank", 0), -1);
+}
+
+}  // namespace
+}  // namespace apollo::tools

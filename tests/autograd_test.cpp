@@ -1,0 +1,290 @@
+// Gradient checks: every tape op's backward is validated against central
+// finite differences of a scalar probe loss ⟨f(x), W⟩.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/tape.h"
+#include "tensor/ops.h"
+
+namespace apollo {
+namespace {
+
+Matrix random_matrix(int64_t r, int64_t c, uint64_t seed, float scale = 1.f) {
+  Matrix m(r, c);
+  Rng rng(seed);
+  m.fill_gaussian(rng, 0.f, scale);
+  return m;
+}
+
+// Builds the graph via `fn` (which sees the leaf vars), returns scalar loss.
+using GraphFn = std::function<ag::Var(ag::Tape&, const std::vector<ag::Var>&)>;
+
+// Checks d⟨fn(inputs), W⟩/d(inputs) against central differences.
+void grad_check(std::vector<Matrix> inputs, const GraphFn& fn,
+                uint64_t probe_seed, float h = 1e-3f, float tol = 2e-2f) {
+  // Analytic gradients.
+  std::vector<Matrix> grads;
+  for (const auto& in : inputs) grads.emplace_back(in.rows(), in.cols());
+
+  Matrix probe;
+  {
+    ag::Tape tape;
+    std::vector<ag::Var> leaves;
+    for (size_t i = 0; i < inputs.size(); ++i)
+      leaves.push_back(tape.leaf(&inputs[i], &grads[i]));
+    ag::Var y = fn(tape, leaves);
+    probe = random_matrix(tape.value(y).rows(), tape.value(y).cols(),
+                          probe_seed);
+    ag::Var loss = tape.dot(y, probe);
+    tape.backward(loss);
+  }
+
+  auto eval = [&]() {
+    ag::Tape tape;
+    std::vector<ag::Var> leaves;
+    for (auto& in : inputs) leaves.push_back(tape.leaf(&in, nullptr));
+    ag::Var y = fn(tape, leaves);
+    double acc = 0;
+    const Matrix& v = tape.value(y);
+    for (int64_t i = 0; i < v.size(); ++i)
+      acc += static_cast<double>(v[i]) * probe[i];
+    return acc;
+  };
+
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    for (int64_t i = 0; i < inputs[k].size(); ++i) {
+      const float orig = inputs[k][i];
+      inputs[k][i] = orig + h;
+      const double up = eval();
+      inputs[k][i] = orig - h;
+      const double down = eval();
+      inputs[k][i] = orig;
+      const double fd = (up - down) / (2.0 * h);
+      EXPECT_NEAR(grads[k][i], fd, tol * std::max(1.0, std::fabs(fd)))
+          << "input " << k << " element " << i;
+    }
+  }
+}
+
+TEST(Autograd, MatmulGrad) {
+  grad_check({random_matrix(3, 4, 1), random_matrix(4, 5, 2)},
+             [](ag::Tape& t, const std::vector<ag::Var>& v) {
+               return t.matmul(v[0], v[1]);
+             },
+             10);
+}
+
+TEST(Autograd, MatmulBtGrad) {
+  grad_check({random_matrix(3, 4, 3), random_matrix(5, 4, 4)},
+             [](ag::Tape& t, const std::vector<ag::Var>& v) {
+               return t.matmul_bt(v[0], v[1]);
+             },
+             11);
+}
+
+TEST(Autograd, AddGrad) {
+  grad_check({random_matrix(3, 3, 5), random_matrix(3, 3, 6)},
+             [](ag::Tape& t, const std::vector<ag::Var>& v) {
+               return t.add(v[0], v[1]);
+             },
+             12);
+}
+
+TEST(Autograd, MulGrad) {
+  grad_check({random_matrix(3, 3, 7), random_matrix(3, 3, 8)},
+             [](ag::Tape& t, const std::vector<ag::Var>& v) {
+               return t.mul(v[0], v[1]);
+             },
+             13);
+}
+
+TEST(Autograd, ScaleGrad) {
+  grad_check({random_matrix(4, 2, 9)},
+             [](ag::Tape& t, const std::vector<ag::Var>& v) {
+               return t.scale(v[0], -1.7f);
+             },
+             14);
+}
+
+TEST(Autograd, SiluGrad) {
+  grad_check({random_matrix(4, 6, 15)},
+             [](ag::Tape& t, const std::vector<ag::Var>& v) {
+               return t.silu(v[0]);
+             },
+             16);
+}
+
+TEST(Autograd, RmsNormGrad) {
+  Matrix w = random_matrix(1, 6, 17, 0.3f);
+  for (int64_t i = 0; i < w.size(); ++i) w[i] += 1.f;  // near-identity gain
+  grad_check({random_matrix(5, 6, 18), w},
+             [](ag::Tape& t, const std::vector<ag::Var>& v) {
+               return t.rmsnorm(v[0], v[1]);
+             },
+             19);
+}
+
+TEST(Autograd, EmbeddingGrad) {
+  grad_check({random_matrix(7, 4, 20)},
+             [](ag::Tape& t, const std::vector<ag::Var>& v) {
+               return t.embedding(v[0], {0, 3, 3, 6, 1});
+             },
+             21);
+}
+
+TEST(Autograd, RopeGrad) {
+  grad_check({random_matrix(8, 8, 22)},  // 2 sequences of 4, 2 heads of dim 4
+             [](ag::Tape& t, const std::vector<ag::Var>& v) {
+               return t.rope(v[0], /*n_heads=*/2, /*seq_len=*/4);
+             },
+             23);
+}
+
+TEST(Autograd, RopeIsNormPreserving) {
+  Matrix x = random_matrix(8, 8, 24);
+  ag::Tape tape;
+  ag::Var v = tape.leaf(&x, nullptr);
+  ag::Var y = tape.rope(v, 2, 4);
+  EXPECT_NEAR(frobenius_norm(tape.value(y)), frobenius_norm(x), 1e-4);
+}
+
+TEST(Autograd, CausalAttentionGrad) {
+  // 2 sequences of length 3, 2 heads of dim 2 → 6×4 inputs.
+  grad_check({random_matrix(6, 4, 25), random_matrix(6, 4, 26),
+              random_matrix(6, 4, 27)},
+             [](ag::Tape& t, const std::vector<ag::Var>& v) {
+               return t.causal_attention(v[0], v[1], v[2], 2, 3);
+             },
+             28, 1e-3f, 4e-2f);
+}
+
+TEST(Autograd, AttentionIsCausal) {
+  // Changing a *future* token's K/V must not change earlier outputs.
+  Matrix q = random_matrix(4, 4, 29), k = random_matrix(4, 4, 30),
+         v = random_matrix(4, 4, 31);
+  Matrix out1, out2;
+  {
+    ag::Tape t;
+    out1 = t.value(t.causal_attention(t.leaf(&q, nullptr), t.leaf(&k, nullptr),
+                                      t.leaf(&v, nullptr), 2, 4));
+  }
+  k.at(3, 0) += 5.f;
+  v.at(3, 2) -= 3.f;
+  {
+    ag::Tape t;
+    out2 = t.value(t.causal_attention(t.leaf(&q, nullptr), t.leaf(&k, nullptr),
+                                      t.leaf(&v, nullptr), 2, 4));
+  }
+  for (int64_t r = 0; r < 3; ++r)
+    for (int64_t c = 0; c < 4; ++c)
+      EXPECT_FLOAT_EQ(out1.at(r, c), out2.at(r, c)) << r << "," << c;
+}
+
+TEST(Autograd, AttentionRowsAreConvexCombinations) {
+  // First position attends only to itself: out[0] == v[0] per head.
+  Matrix q = random_matrix(3, 4, 32), k = random_matrix(3, 4, 33),
+         v = random_matrix(3, 4, 34);
+  ag::Tape t;
+  const Matrix& out = t.value(t.causal_attention(
+      t.leaf(&q, nullptr), t.leaf(&k, nullptr), t.leaf(&v, nullptr), 2, 3));
+  for (int64_t c = 0; c < 4; ++c) EXPECT_NEAR(out.at(0, c), v.at(0, c), 1e-5);
+}
+
+TEST(Autograd, CrossEntropyGradAndValue) {
+  // Analytic spot-check: uniform logits give loss log(V); dlogits =
+  // (softmax − onehot)/T.
+  const int T = 3, V = 5;
+  Matrix logits(T, V);
+  Matrix grad(T, V);
+  ag::Tape tape;
+  ag::Var lv = tape.leaf(&logits, &grad);
+  ag::Var loss = tape.cross_entropy(lv, {1, 4, 0});
+  EXPECT_NEAR(tape.value(loss)[0], std::log(5.f), 1e-5);
+  tape.backward(loss);
+  for (int64_t r = 0; r < T; ++r)
+    for (int64_t c = 0; c < V; ++c) {
+      const float expect =
+          (0.2f - ((r == 0 && c == 1) || (r == 1 && c == 4) ||
+                   (r == 2 && c == 0)
+                       ? 1.f
+                       : 0.f)) /
+          T;
+      EXPECT_NEAR(grad.at(r, c), expect, 1e-6);
+    }
+}
+
+TEST(Autograd, CrossEntropyIgnoresMaskedTargets) {
+  const int T = 4, V = 6;
+  Matrix logits = random_matrix(T, V, 35);
+  Matrix grad(T, V);
+  ag::Tape tape;
+  ag::Var lv = tape.leaf(&logits, &grad);
+  ag::Var loss = tape.cross_entropy(lv, {-1, 2, -1, 3});
+  tape.backward(loss);
+  for (int64_t c = 0; c < V; ++c) {
+    EXPECT_FLOAT_EQ(grad.at(0, c), 0.f);
+    EXPECT_FLOAT_EQ(grad.at(2, c), 0.f);
+  }
+}
+
+TEST(Autograd, CrossEntropyFiniteDifference) {
+  const int T = 2, V = 4;
+  Matrix logits = random_matrix(T, V, 36);
+  Matrix grad(T, V);
+  const std::vector<int32_t> tgt{2, 0};
+  {
+    ag::Tape tape;
+    ag::Var loss = tape.cross_entropy(tape.leaf(&logits, &grad), tgt);
+    tape.backward(loss);
+  }
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    auto eval = [&]() {
+      ag::Tape tape;
+      return tape.value(
+          tape.cross_entropy(tape.leaf(&logits, nullptr), tgt))[0];
+    };
+    const float orig = logits[i];
+    logits[i] = orig + h;
+    const double up = eval();
+    logits[i] = orig - h;
+    const double down = eval();
+    logits[i] = orig;
+    EXPECT_NEAR(grad[i], (up - down) / (2 * h), 2e-3);
+  }
+}
+
+TEST(Autograd, GradAccumulatesAcrossBackwards) {
+  // Two tapes writing into the same leaf grad accumulate (grad-accum path).
+  Matrix x = random_matrix(2, 2, 37);
+  Matrix g(2, 2);
+  for (int pass = 0; pass < 2; ++pass) {
+    ag::Tape tape;
+    ag::Var v = tape.leaf(&x, &g);
+    ag::Var y = tape.scale(v, 3.f);
+    Matrix w(2, 2);
+    w.fill(1.f);
+    tape.backward(tape.dot(y, w));
+  }
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(g[i], 6.f);
+}
+
+TEST(Autograd, ConstantHasNoGrad) {
+  ag::Tape tape;
+  Matrix c = random_matrix(2, 2, 38);
+  ag::Var v = tape.constant(c);
+  EXPECT_FALSE(tape.requires_grad(v));
+}
+
+TEST(Autograd, ActivationBytesPositive) {
+  Matrix x = random_matrix(4, 4, 39);
+  ag::Tape tape;
+  ag::Var v = tape.leaf(&x, nullptr);
+  tape.silu(v);
+  EXPECT_GT(tape.activation_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace apollo

@@ -1,0 +1,90 @@
+// Checkpoint serialization tests, including corruption/mismatch rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "train/checkpoint.h"
+
+namespace apollo {
+namespace {
+
+nn::LlamaConfig tiny() {
+  nn::LlamaConfig c;
+  c.vocab = 32;
+  c.hidden = 16;
+  c.intermediate = 40;
+  c.n_heads = 2;
+  c.n_layers = 1;
+  c.seq_len = 8;
+  return c;
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const std::string path = temp_path("ckpt_roundtrip.bin");
+  nn::LlamaModel a(tiny(), 1);
+  auto r = train::save_checkpoint(path, a, 123);
+  ASSERT_TRUE(r.ok) << r.error;
+
+  nn::LlamaModel b(tiny(), 2);  // different init
+  auto l = train::load_checkpoint(path, b);
+  ASSERT_TRUE(l.ok) << l.error;
+  EXPECT_EQ(l.step, 123);
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  for (size_t i = 0; i < pa.size(); ++i)
+    EXPECT_TRUE(pa[i]->value == pb[i]->value) << pa[i]->name;
+}
+
+TEST(Checkpoint, MissingFileFails) {
+  nn::LlamaModel m(tiny(), 1);
+  auto l = train::load_checkpoint(temp_path("does_not_exist.bin"), m);
+  EXPECT_FALSE(l.ok);
+  EXPECT_NE(l.error.find("cannot open"), std::string::npos);
+}
+
+TEST(Checkpoint, WrongArchitectureRejected) {
+  const std::string path = temp_path("ckpt_arch.bin");
+  nn::LlamaModel a(tiny(), 1);
+  ASSERT_TRUE(train::save_checkpoint(path, a, 0).ok);
+
+  nn::LlamaConfig other = tiny();
+  other.hidden = 32;
+  other.intermediate = 88;
+  nn::LlamaModel b(other, 1);
+  auto l = train::load_checkpoint(path, b);
+  EXPECT_FALSE(l.ok);
+}
+
+TEST(Checkpoint, TruncatedFileRejected) {
+  const std::string path = temp_path("ckpt_trunc.bin");
+  nn::LlamaModel a(tiny(), 1);
+  ASSERT_TRUE(train::save_checkpoint(path, a, 0).ok);
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  nn::LlamaModel b(tiny(), 2);
+  EXPECT_FALSE(train::load_checkpoint(path, b).ok);
+}
+
+TEST(Checkpoint, GarbageFileRejected) {
+  const std::string path = temp_path("ckpt_garbage.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a checkpoint at all, not even close......", f);
+  std::fclose(f);
+  nn::LlamaModel m(tiny(), 1);
+  auto l = train::load_checkpoint(path, m);
+  EXPECT_FALSE(l.ok);
+  EXPECT_NE(l.error.find("magic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apollo

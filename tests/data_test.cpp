@@ -1,0 +1,215 @@
+// Synthetic corpus and downstream-task generator tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "data/corpus.h"
+#include "data/tasks.h"
+
+namespace apollo {
+namespace {
+
+TEST(Corpus, DeterministicGivenSeeds) {
+  data::CorpusConfig cfg;
+  data::SyntheticCorpus c1(cfg), c2(cfg);
+  Rng r1(5), r2(5);
+  std::vector<int32_t> s1, s2;
+  c1.sample_sequence(r1, 64, s1);
+  c2.sample_sequence(r2, 64, s2);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Corpus, TokensInRange) {
+  data::SyntheticCorpus c({});
+  Rng rng(1);
+  std::vector<int32_t> s;
+  for (int i = 0; i < 20; ++i) {
+    c.sample_sequence(rng, 100, s);
+    for (int32_t t : s) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, c.config().vocab);
+    }
+  }
+}
+
+TEST(Corpus, UnigramIsZipfSkewed) {
+  data::SyntheticCorpus c({});
+  Rng rng(2);
+  std::vector<int32_t> s;
+  std::map<int32_t, int> freq;
+  for (int i = 0; i < 200; ++i) {
+    c.sample_sequence(rng, 128, s);
+    for (int32_t t : s) ++freq[t];
+  }
+  // Head tokens must be far more frequent than tail tokens.
+  int head = 0, tail = 0;
+  for (auto [tok, n] : freq) (tok < 16 ? head : tail) += n;
+  EXPECT_GT(head, tail / 4) << "distribution not skewed";
+  // And the stream must not be degenerate: many distinct tokens appear.
+  EXPECT_GT(freq.size(), 50u);
+}
+
+TEST(Corpus, MarkovStructureIsLearnableSignal) {
+  // The empirical bigram distribution must be far from independent:
+  // P(next = top_successor(prev)) should beat the unigram base rate.
+  data::SyntheticCorpus c({});
+  Rng rng(3);
+  std::vector<int32_t> s;
+  int hits = 0, total = 0;
+  for (int i = 0; i < 300; ++i) {
+    c.sample_sequence(rng, 64, s);
+    for (size_t j = 1; j < s.size(); ++j) {
+      ++total;
+      // Count a hit when next matches the top successor under any topic.
+      for (int topic = 0; topic < c.config().n_topics; ++topic)
+        if (s[j] == c.top_successor(topic, s[j - 1])) {
+          ++hits;
+          break;
+        }
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) / total, 0.15);
+}
+
+TEST(Corpus, TopSuccessorStable) {
+  data::SyntheticCorpus c({});
+  EXPECT_EQ(c.top_successor(0, 5), c.top_successor(0, 5));
+  EXPECT_LT(c.top_successor(3, 100), c.config().vocab);
+}
+
+TEST(BatchLoader, ShiftedTargets) {
+  data::SyntheticCorpus c({});
+  data::BatchLoader loader(c, 2, 16, 9);
+  std::vector<int32_t> ids, targets;
+  loader.next(ids, targets);
+  ASSERT_EQ(ids.size(), 32u);
+  ASSERT_EQ(targets.size(), 32u);
+  // Within each sequence, target[i] == id[i+1].
+  for (int b = 0; b < 2; ++b)
+    for (int i = 0; i < 15; ++i)
+      EXPECT_EQ(targets[static_cast<size_t>(b * 16 + i)],
+                ids[static_cast<size_t>(b * 16 + i + 1)]);
+}
+
+TEST(BatchLoader, StreamAdvances) {
+  data::SyntheticCorpus c({});
+  data::BatchLoader loader(c, 1, 16, 10);
+  std::vector<int32_t> a, b, t;
+  loader.next(a, t);
+  loader.next(b, t);
+  EXPECT_NE(a, b);
+}
+
+TEST(ValidationSet, DeterministicAndSized) {
+  data::SyntheticCorpus c({});
+  auto v1 = data::make_validation_set(c, 3, 2, 8, 42);
+  auto v2 = data::make_validation_set(c, 3, 2, 8, 42);
+  ASSERT_EQ(v1.ids.size(), 3u);
+  EXPECT_EQ(v1.ids[0], v2.ids[0]);
+  EXPECT_EQ(v1.targets[2], v2.targets[2]);
+  EXPECT_EQ(v1.ids[0].size(), 16u);
+}
+
+class CommonsenseTaskTest
+    : public ::testing::TestWithParam<data::CommonsenseTask> {};
+
+TEST_P(CommonsenseTaskTest, ExamplesWellFormed) {
+  data::SyntheticCorpus c({});
+  data::TaskGenerator gen(c, 11);
+  for (int i = 0; i < 50; ++i) {
+    auto ex = gen.sample_commonsense(GetParam(), 12);
+    ASSERT_GT(ex.tokens.size(), 2u);
+    EXPECT_EQ(ex.answer_pos, static_cast<int>(ex.tokens.size()) - 1);
+    EXPECT_EQ(ex.tokens.back(), ex.answer);
+    // QUERY marker sits just before the answer.
+    EXPECT_EQ(ex.tokens[static_cast<size_t>(ex.answer_pos - 1)],
+              c.config().vocab - 1);
+    if (!ex.choices.empty())
+      EXPECT_NE(std::find(ex.choices.begin(), ex.choices.end(), ex.answer),
+                ex.choices.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasks, CommonsenseTaskTest,
+    ::testing::Values(data::CommonsenseTask::kCopyFirst,
+                      data::CommonsenseTask::kCopyLast,
+                      data::CommonsenseTask::kMaxToken,
+                      data::CommonsenseTask::kMajority,
+                      data::CommonsenseTask::kParity,
+                      data::CommonsenseTask::kSuccessor,
+                      data::CommonsenseTask::kSecondToken,
+                      data::CommonsenseTask::kAlternation));
+
+TEST(Tasks, CopyFirstRuleHolds) {
+  data::SyntheticCorpus c({});
+  data::TaskGenerator gen(c, 12);
+  for (int i = 0; i < 20; ++i) {
+    auto ex = gen.sample_commonsense(data::CommonsenseTask::kCopyFirst, 10);
+    EXPECT_EQ(ex.answer, ex.tokens.front());
+  }
+}
+
+TEST(Tasks, MaxTokenRuleHolds) {
+  data::SyntheticCorpus c({});
+  data::TaskGenerator gen(c, 13);
+  for (int i = 0; i < 20; ++i) {
+    auto ex = gen.sample_commonsense(data::CommonsenseTask::kMaxToken, 10);
+    const auto prompt_end = ex.tokens.begin() + ex.answer_pos - 1;
+    EXPECT_EQ(ex.answer, *std::max_element(ex.tokens.begin(), prompt_end));
+  }
+}
+
+TEST(Tasks, MajorityRuleHolds) {
+  data::SyntheticCorpus c({});
+  data::TaskGenerator gen(c, 14);
+  for (int i = 0; i < 20; ++i) {
+    auto ex = gen.sample_commonsense(data::CommonsenseTask::kMajority, 11);
+    std::map<int32_t, int> freq;
+    for (int j = 0; j < ex.answer_pos - 1; ++j)
+      ++freq[ex.tokens[static_cast<size_t>(j)]];
+    const auto best = std::max_element(
+        freq.begin(), freq.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    EXPECT_EQ(ex.answer, best->first);
+  }
+}
+
+TEST(Tasks, MmluExamplesWellFormed) {
+  data::SyntheticCorpus c({});
+  data::TaskGenerator gen(c, 15);
+  for (auto d : {data::MmluDomain::kStem, data::MmluDomain::kSocial,
+                 data::MmluDomain::kHumanities, data::MmluDomain::kOther}) {
+    for (int i = 0; i < 30; ++i) {
+      auto ex = gen.sample_mmlu(d, 8);
+      ASSERT_EQ(ex.choices.size(), 4u);
+      EXPECT_NE(std::find(ex.choices.begin(), ex.choices.end(), ex.answer),
+                ex.choices.end())
+          << "correct answer missing from options";
+      EXPECT_EQ(ex.tokens.back(), ex.answer);
+    }
+  }
+}
+
+TEST(Tasks, BatchPackingTargetsOnlyAtAnswer) {
+  data::SyntheticCorpus c({});
+  data::TaskGenerator gen(c, 16);
+  auto b = gen.make_commonsense_batch(data::CommonsenseTask::kCopyLast, 4, 32);
+  ASSERT_EQ(b.ids.size(), 4u * 32u);
+  ASSERT_EQ(b.answer_rows.size(), 4u);
+  int non_ignored = 0;
+  for (int32_t t : b.targets) non_ignored += (t >= 0);
+  EXPECT_EQ(non_ignored, 4);
+  for (int row : b.answer_rows)
+    EXPECT_GE(b.targets[static_cast<size_t>(row)], 0);
+}
+
+TEST(Tasks, TaskNamesMapToPaperTables) {
+  EXPECT_STREQ(data::task_name(data::CommonsenseTask::kCopyFirst), "WG");
+  EXPECT_STREQ(data::task_name(data::CommonsenseTask::kAlternation), "Arc-C");
+  EXPECT_STREQ(data::domain_name(data::MmluDomain::kStem), "STEM");
+}
+
+}  // namespace
+}  // namespace apollo

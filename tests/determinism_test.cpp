@@ -1,0 +1,64 @@
+// Determinism sweep: every optimizer in the registry must produce
+// bit-identical training runs from identical seeds — the property all
+// experiment comparisons in bench/ rest on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/factory.h"
+#include "data/corpus.h"
+#include "nn/llama.h"
+#include "train/trainer.h"
+
+namespace apollo {
+namespace {
+
+class DeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismTest, IdenticalSeedsIdenticalRuns) {
+  auto run = [&] {
+    nn::LlamaConfig cfg;
+    cfg.vocab = 64;
+    cfg.hidden = 16;
+    cfg.intermediate = 40;
+    cfg.n_heads = 2;
+    cfg.n_layers = 1;
+    cfg.seq_len = 8;
+    nn::LlamaModel model(cfg, 11);
+    data::CorpusConfig ccfg;
+    ccfg.vocab = 64;
+    data::SyntheticCorpus corpus(ccfg);
+    core::FactoryOptions fo;
+    fo.rank = 4;
+    fo.update_freq = 10;
+    fo.seed = 77;
+    auto opt = core::make_optimizer(GetParam(), fo);
+    train::TrainConfig tc;
+    tc.steps = 25;
+    tc.batch = 2;
+    tc.lr = core::default_lr(GetParam());
+    train::Trainer t(model, *opt, corpus, tc);
+    auto result = t.run();
+    // Return both the metric and a raw weight as the fingerprint.
+    return std::pair(result.final_perplexity,
+                     model.parameters()[1]->value);
+  };
+  auto [ppl1, w1] = run();
+  auto [ppl2, w2] = run();
+  EXPECT_EQ(ppl1, ppl2);
+  EXPECT_TRUE(w1 == w2);
+  EXPECT_TRUE(std::isfinite(ppl1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptimizers, DeterminismTest,
+    ::testing::ValuesIn(core::known_optimizers()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace apollo

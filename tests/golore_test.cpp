@@ -1,0 +1,96 @@
+// GoLore (SVD-early → random-late projection switching) tests.
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "optim/galore.h"
+#include "tensor/ops.h"
+
+namespace apollo {
+namespace {
+
+std::unique_ptr<nn::Parameter> make_param(uint64_t seed) {
+  auto p = std::make_unique<nn::Parameter>("w", 8, 32);
+  Rng rng(seed);
+  p->value.fill_gaussian(rng, 0.f, 0.5f);
+  p->grad.fill_gaussian(rng, 0.f, 0.1f);
+  return p;
+}
+
+TEST(GoLore, MatchesSvdGaloreBeforeSwitch) {
+  auto p1 = make_param(1);
+  auto p2 = make_param(1);
+  optim::GaloreConfig cfg;
+  cfg.rank = 4;
+  cfg.seed = 9;
+  auto golore = optim::GaLore::golore(cfg, /*switch_after=*/100);
+  auto galore = optim::GaLore::galore(cfg);
+  golore->set_lr(0.01f);
+  galore->set_lr(0.01f);
+  Rng rng(2);
+  for (int s = 0; s < 5; ++s) {
+    golore->step({p1.get()});
+    galore->step({p2.get()});
+    Matrix g(8, 32);
+    g.fill_gaussian(rng, 0.f, 0.1f);
+    p1->grad = g;
+    p2->grad = g;
+  }
+  // Identical trajectories while still in the SVD phase.
+  EXPECT_LT(max_abs_diff(p1->value, p2->value), 1e-7f);
+}
+
+TEST(GoLore, DivergesFromSvdAfterSwitch) {
+  auto p1 = make_param(3);
+  auto p2 = make_param(3);
+  optim::GaloreConfig cfg;
+  cfg.rank = 4;
+  cfg.seed = 9;
+  cfg.update_freq = 2;
+  auto golore = optim::GaLore::golore(cfg, /*switch_after=*/3);
+  auto galore = optim::GaLore::galore(cfg);
+  golore->set_lr(0.01f);
+  galore->set_lr(0.01f);
+  Rng rng(4);
+  for (int s = 0; s < 8; ++s) {
+    golore->step({p1.get()});
+    galore->step({p2.get()});
+    Matrix g(8, 32);
+    g.fill_gaussian(rng, 0.f, 0.1f);
+    p1->grad = g;
+    p2->grad = g;
+  }
+  EXPECT_GT(max_abs_diff(p1->value, p2->value), 1e-6f);
+}
+
+TEST(GoLore, DropsStoredProjectorAfterSwitch) {
+  // After switching to random projections, the m·r SVD projector is freed:
+  // state drops to the Flora footprint.
+  auto p = make_param(5);
+  optim::GaloreConfig cfg;
+  cfg.rank = 4;
+  cfg.update_freq = 2;
+  auto opt = optim::GaLore::golore(cfg, /*switch_after=*/2);
+  opt->set_lr(0.01f);
+  Rng rng(6);
+  opt->step({p.get()});
+  const int64_t with_svd = opt->state_bytes();
+  for (int s = 0; s < 4; ++s) {
+    p->grad.fill_gaussian(rng, 0.f, 0.1f);
+    opt->step({p.get()});
+  }
+  const int64_t with_rp = opt->state_bytes();
+  EXPECT_LT(with_rp, with_svd);
+  EXPECT_EQ(with_rp, 2 * 4 * 32 * 4 + 8);  // Flora footprint: 2nr + seed
+}
+
+TEST(GoLore, InFactoryRegistry) {
+  core::FactoryOptions fo;
+  fo.rank = 4;
+  auto opt = core::make_optimizer("golore", fo);
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(opt->name(), "GoLore");
+  EXPECT_FLOAT_EQ(core::default_lr("golore"), 1e-2f);
+}
+
+}  // namespace
+}  // namespace apollo

@@ -1,0 +1,103 @@
+// InferenceSession tests — most importantly, token-by-token decode must
+// reproduce the tape forward's logits, pinning the two implementations of
+// the architecture to each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/tape.h"
+#include "nn/inference.h"
+
+namespace apollo {
+namespace {
+
+nn::LlamaConfig tiny() {
+  nn::LlamaConfig c;
+  c.vocab = 48;
+  c.hidden = 16;
+  c.intermediate = 40;
+  c.n_heads = 2;
+  c.n_layers = 2;
+  c.seq_len = 8;
+  return c;
+}
+
+TEST(Inference, MatchesTapeForwardExactly) {
+  nn::LlamaModel model(tiny(), 3);
+  const std::vector<int32_t> window = {5, 1, 44, 2, 2, 30, 7, 19};
+
+  // Tape path: full-window forward.
+  ag::Tape tape;
+  const Matrix& tape_logits = tape.value(model.forward(tape, window));
+
+  // Incremental path: one token at a time.
+  nn::InferenceSession session(model);
+  for (size_t t = 0; t < window.size(); ++t) {
+    const auto& logits = session.step(window[t]);
+    for (int64_t v = 0; v < tape_logits.cols(); ++v)
+      EXPECT_NEAR(logits[static_cast<size_t>(v)],
+                  tape_logits.at(static_cast<int64_t>(t), v), 5e-4f)
+          << "position " << t << " vocab " << v;
+  }
+}
+
+TEST(Inference, PromptReturnsLastPositionLogits) {
+  nn::LlamaModel model(tiny(), 4);
+  const std::vector<int32_t> window = {1, 2, 3, 4};
+  nn::InferenceSession a(model), b(model);
+  const auto& via_prompt = a.prompt(window);
+  std::vector<float> expected;
+  for (int32_t t : window) expected = b.step(t);
+  EXPECT_EQ(via_prompt, expected);
+}
+
+TEST(Inference, ResetRestartsCleanly) {
+  nn::LlamaModel model(tiny(), 5);
+  nn::InferenceSession s(model);
+  s.step(1);
+  s.step(2);
+  const auto after_two = s.step(3);
+  s.reset();
+  EXPECT_EQ(s.position(), 0);
+  s.step(1);
+  s.step(2);
+  EXPECT_EQ(s.step(3), after_two);
+}
+
+TEST(Inference, ReflectsWeightUpdates) {
+  // The session reads live weights: mutating the model changes logits.
+  nn::LlamaModel model(tiny(), 6);
+  nn::InferenceSession s(model);
+  const auto before = s.step(7);
+  model.parameters().back()->value.fill(0.1f);  // clobber lm_head
+  s.reset();
+  const auto after = s.step(7);
+  EXPECT_NE(before, after);
+}
+
+TEST(Inference, LongDecodeStaysFinite) {
+  // Slide far past the trained window; outputs must remain finite.
+  nn::LlamaModel model(tiny(), 7);
+  nn::InferenceSession s(model);
+  for (int t = 0; t < 40; ++t) {  // 5× the window
+    const auto& logits = s.step(t % 48);
+    for (float v : logits) ASSERT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(s.position(), 40);
+}
+
+TEST(Inference, FirstTokenDependsOnlyOnItself) {
+  // With an empty cache, the first step equals the tape forward of a
+  // window whose later tokens are arbitrary (causality).
+  nn::LlamaModel model(tiny(), 8);
+  nn::InferenceSession s(model);
+  const auto logits = s.step(9);
+  ag::Tape tape;
+  const Matrix& ref =
+      tape.value(model.forward(tape, {9, 0, 0, 0, 0, 0, 0, 0}));
+  for (int64_t v = 0; v < ref.cols(); ++v)
+    EXPECT_NEAR(logits[static_cast<size_t>(v)], ref.at(0, v), 5e-4f);
+}
+
+}  // namespace
+}  // namespace apollo

@@ -1,0 +1,200 @@
+// SVD and random-projection tests, including parameterized property tests of
+// the Johnson–Lindenstrauss norm-preservation bound (Theorem A.1) that
+// underpins APOLLO's theory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/projection.h"
+#include "linalg/svd.h"
+#include "tensor/ops.h"
+
+namespace apollo {
+namespace {
+
+Matrix random_matrix(int64_t r, int64_t c, uint64_t seed) {
+  Matrix m(r, c);
+  Rng rng(seed);
+  m.fill_gaussian(rng);
+  return m;
+}
+
+Matrix reconstruct(const SvdResult& d) {
+  // U · diag(σ) · Vᵀ
+  Matrix us = d.u;
+  for (int64_t i = 0; i < us.rows(); ++i)
+    for (int64_t j = 0; j < us.cols(); ++j)
+      us.at(i, j) *= d.sigma[static_cast<size_t>(j)];
+  return matmul_bt(us, d.v);
+}
+
+TEST(Svd, ReconstructsTall) {
+  Matrix a = random_matrix(12, 8, 1);
+  SvdResult d = svd(a);
+  EXPECT_LT(max_abs_diff(reconstruct(d), a), 1e-3f);
+}
+
+TEST(Svd, ReconstructsWide) {
+  Matrix a = random_matrix(6, 15, 2);
+  SvdResult d = svd(a);
+  EXPECT_LT(max_abs_diff(reconstruct(d), a), 1e-3f);
+}
+
+TEST(Svd, SingularValuesDescendingNonNegative) {
+  Matrix a = random_matrix(10, 10, 3);
+  SvdResult d = svd(a);
+  for (size_t i = 0; i + 1 < d.sigma.size(); ++i) {
+    EXPECT_GE(d.sigma[i], d.sigma[i + 1]);
+    EXPECT_GE(d.sigma[i], 0.f);
+  }
+}
+
+TEST(Svd, ColumnsOrthonormal) {
+  Matrix a = random_matrix(9, 5, 4);
+  SvdResult d = svd(a);
+  Matrix utu = matmul_at(d.u, d.u);
+  Matrix vtv = matmul_at(d.v, d.v);
+  for (int64_t i = 0; i < utu.rows(); ++i)
+    for (int64_t j = 0; j < utu.cols(); ++j) {
+      const float expect = i == j ? 1.f : 0.f;
+      EXPECT_NEAR(utu.at(i, j), expect, 1e-3f);
+      EXPECT_NEAR(vtv.at(i, j), expect, 1e-3f);
+    }
+}
+
+TEST(Svd, MatchesKnownDiagonal) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 3.f;
+  a.at(1, 1) = 1.f;
+  a.at(2, 2) = 2.f;
+  SvdResult d = svd(a);
+  EXPECT_NEAR(d.sigma[0], 3.f, 1e-4f);
+  EXPECT_NEAR(d.sigma[1], 2.f, 1e-4f);
+  EXPECT_NEAR(d.sigma[2], 1.f, 1e-4f);
+}
+
+TEST(Svd, LeftProjectorShapeAndOrthonormalRows) {
+  Matrix a = random_matrix(8, 20, 5);
+  Matrix p = svd_left_projector(a, 3);
+  ASSERT_EQ(p.rows(), 3);
+  ASSERT_EQ(p.cols(), 8);
+  Matrix ppt = matmul_bt(p, p);
+  for (int64_t i = 0; i < 3; ++i)
+    for (int64_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(ppt.at(i, j), i == j ? 1.f : 0.f, 1e-3f);
+}
+
+TEST(Svd, ProjectorCapturesDominantSubspace) {
+  // Rank-1 matrix: the rank-1 SVD projector should capture ~all energy.
+  Matrix u = random_matrix(10, 1, 6);
+  Matrix v = random_matrix(1, 24, 7);
+  Matrix a = matmul(u, v);
+  Matrix p = svd_left_projector(a, 1);
+  Matrix r = project(a, p, ProjectionSide::kLeft);
+  EXPECT_NEAR(frobenius_norm(r) / frobenius_norm(a), 1.0, 1e-3);
+}
+
+TEST(Projection, SeedDeterminism) {
+  Matrix p1 = gaussian_projection(4, 16, 99);
+  Matrix p2 = gaussian_projection(4, 16, 99);
+  EXPECT_TRUE(p1 == p2);
+  Matrix p3 = gaussian_projection(4, 16, 100);
+  EXPECT_FALSE(p1 == p3);
+}
+
+TEST(Projection, VarianceIsOneOverR) {
+  const int64_t r = 8, m = 64;
+  Matrix p = gaussian_projection(r, m, 5);
+  double s2 = 0;
+  for (int64_t i = 0; i < p.size(); ++i)
+    s2 += static_cast<double>(p[i]) * p[i];
+  EXPECT_NEAR(s2 / static_cast<double>(p.size()), 1.0 / r, 0.02);
+}
+
+TEST(Projection, NaturalSidePicksSmallerDim) {
+  EXPECT_EQ(natural_side(4, 10), ProjectionSide::kLeft);
+  EXPECT_EQ(natural_side(10, 4), ProjectionSide::kRight);
+  EXPECT_EQ(natural_side(5, 5), ProjectionSide::kLeft);
+}
+
+TEST(Projection, ProjectShapes) {
+  Matrix g = random_matrix(6, 20, 8);
+  Matrix p = gaussian_projection(2, 6, 9);
+  Matrix r = project(g, p, ProjectionSide::kLeft);
+  EXPECT_EQ(r.rows(), 2);
+  EXPECT_EQ(r.cols(), 20);
+  Matrix back = project_back(r, p, ProjectionSide::kLeft);
+  EXPECT_EQ(back.rows(), 6);
+  EXPECT_EQ(back.cols(), 20);
+
+  Matrix g2 = random_matrix(20, 6, 10);
+  Matrix p2 = gaussian_projection(2, 6, 11);
+  Matrix r2 = project(g2, p2, ProjectionSide::kRight);
+  EXPECT_EQ(r2.rows(), 20);
+  EXPECT_EQ(r2.cols(), 2);
+  Matrix back2 = project_back(r2, p2, ProjectionSide::kRight);
+  EXPECT_EQ(back2.rows(), 20);
+  EXPECT_EQ(back2.cols(), 6);
+}
+
+TEST(Projection, ChannelCount) {
+  EXPECT_EQ(channel_count(4, 10, ProjectionSide::kLeft), 10);
+  EXPECT_EQ(channel_count(10, 4, ProjectionSide::kRight), 10);
+}
+
+// --- Theorem A.1 property test -------------------------------------------
+// With P ∈ R^{r×m}, P_ij ~ N(0, 1/r):  Pr[|‖Px‖²/‖x‖² − 1| ≥ ε] ≤
+// 2·exp(−rε²/8). We check the empirical failure rate against the bound for
+// several ranks.
+class JlBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JlBoundTest, NormPreservationFailureRateWithinBound) {
+  const int r = GetParam();
+  const int m = 64;
+  const double eps = 0.5;
+  const int trials = 400;
+  Rng rng(2024 + static_cast<uint64_t>(r));
+  int failures = 0;
+  for (int tcase = 0; tcase < trials; ++tcase) {
+    Matrix x(m, 1);
+    x.fill_gaussian(rng);
+    Matrix p = gaussian_projection(r, m, rng.next_u64());
+    const double orig = frobenius_norm(x);
+    const double proj = frobenius_norm(matmul(p, x));
+    const double ratio2 = (proj * proj) / (orig * orig);
+    if (std::fabs(ratio2 - 1.0) >= eps) ++failures;
+  }
+  const double bound = 2.0 * std::exp(-r * eps * eps / 8.0);
+  const double rate = static_cast<double>(failures) / trials;
+  // Allow generous sampling slack above the theoretical bound.
+  EXPECT_LE(rate, std::min(1.0, bound * 1.5 + 0.03))
+      << "rank " << r << ": empirical " << rate << " vs bound " << bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, JlBoundTest,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+// E[‖Px‖²] = ‖x‖² regardless of rank (unbiasedness, the mean version of
+// Theorem A.1).
+class JlUnbiasedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JlUnbiasedTest, ProjectedNormUnbiased) {
+  const int r = GetParam();
+  const int m = 48;
+  Rng rng(77);
+  Matrix x(m, 1);
+  x.fill_gaussian(rng);
+  const double orig2 = std::pow(frobenius_norm(x), 2);
+  double acc = 0;
+  const int trials = 600;
+  for (int tcase = 0; tcase < trials; ++tcase) {
+    Matrix p = gaussian_projection(r, m, rng.next_u64());
+    acc += std::pow(frobenius_norm(matmul(p, x)), 2);
+  }
+  EXPECT_NEAR(acc / trials / orig2, 1.0, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, JlUnbiasedTest, ::testing::Values(1, 2, 8, 32));
+
+}  // namespace
+}  // namespace apollo

@@ -1,0 +1,97 @@
+// Annotated corpus + mechanism-resolved evaluation tests.
+#include <gtest/gtest.h>
+
+#include "data/corpus.h"
+#include "optim/adamw.h"
+#include "train/mechanism_eval.h"
+#include "train/trainer.h"
+
+namespace apollo {
+namespace {
+
+TEST(AnnotatedCorpus, SameStreamAsUnannotated) {
+  data::SyntheticCorpus c({});
+  Rng r1(9), r2(9);
+  std::vector<int32_t> plain, annotated;
+  std::vector<data::SyntheticCorpus::Mechanism> mech;
+  c.sample_sequence(r1, 100, plain);
+  c.sample_sequence_annotated(r2, 100, annotated, mech);
+  EXPECT_EQ(plain, annotated);
+  ASSERT_EQ(mech.size(), 100u);
+}
+
+TEST(AnnotatedCorpus, MechanismFrequenciesMatchConfig) {
+  data::CorpusConfig cfg;
+  data::SyntheticCorpus c(cfg);
+  Rng rng(10);
+  std::vector<int32_t> seq;
+  std::vector<data::SyntheticCorpus::Mechanism> mech;
+  int64_t counts[3] = {0, 0, 0};
+  int64_t total = 0;
+  for (int i = 0; i < 300; ++i) {
+    c.sample_sequence_annotated(rng, 64, seq, mech);
+    // Only positions past copy_distance can be copies; count them all.
+    for (size_t j = static_cast<size_t>(cfg.copy_distance); j < mech.size();
+         ++j) {
+      ++counts[static_cast<int>(mech[j])];
+      ++total;
+    }
+  }
+  const double p_markov =
+      static_cast<double>(counts[0]) / static_cast<double>(total);
+  const double p_copy =
+      static_cast<double>(counts[1]) / static_cast<double>(total);
+  EXPECT_NEAR(p_markov, cfg.p_markov, 0.02);
+  EXPECT_NEAR(p_copy, cfg.p_copy, 0.01);
+}
+
+TEST(AnnotatedCorpus, CopiesActuallyCopy) {
+  data::CorpusConfig cfg;
+  data::SyntheticCorpus c(cfg);
+  Rng rng(11);
+  std::vector<int32_t> seq;
+  std::vector<data::SyntheticCorpus::Mechanism> mech;
+  for (int i = 0; i < 50; ++i) {
+    c.sample_sequence_annotated(rng, 64, seq, mech);
+    for (size_t j = 0; j < mech.size(); ++j)
+      if (mech[j] == data::SyntheticCorpus::Mechanism::kCopy)
+        EXPECT_EQ(seq[j], seq[j - static_cast<size_t>(cfg.copy_distance)]);
+  }
+}
+
+TEST(MechanismEval, TrainingImprovesLearnableMechanismsMost) {
+  nn::LlamaConfig mcfg;
+  mcfg.vocab = 256;
+  mcfg.hidden = 32;
+  mcfg.intermediate = 88;
+  mcfg.n_heads = 4;
+  mcfg.n_layers = 2;
+  mcfg.seq_len = 32;
+  nn::LlamaModel model(mcfg, 12);
+  data::SyntheticCorpus corpus({});
+
+  const auto before =
+      train::mechanism_loss(model, corpus, 6, 4, 999);
+  optim::AdamW opt;
+  train::TrainConfig tc;
+  tc.steps = 250;
+  tc.batch = 4;
+  tc.lr = 3e-3f;
+  train::Trainer t(model, opt, corpus, tc);
+  t.run();
+  const auto after = train::mechanism_loss(model, corpus, 6, 4, 999);
+
+  EXPECT_GT(before.markov_n, 0);
+  EXPECT_GT(before.copy_n, 0);
+  EXPECT_GT(before.unigram_n, 0);
+  // Markov structure is the most learnable: its loss drops the most.
+  EXPECT_LT(after.markov, before.markov - 0.5);
+  // Copies improve too (attention), from a near-uniform start.
+  EXPECT_LT(after.copy, before.copy);
+  // The unigram mechanism improves only to its entropy floor: the drop is
+  // smaller than the markov drop.
+  EXPECT_GT(after.unigram, after.markov);
+}
+
+}  // namespace
+}  // namespace apollo

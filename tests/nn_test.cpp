@@ -1,0 +1,146 @@
+// LlamaModel tests: parameter bookkeeping, forward shape/determinism,
+// overfitting a fixed batch, snapshot/restore.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/llama.h"
+#include "optim/adamw.h"
+#include "tensor/ops.h"
+
+namespace apollo {
+namespace {
+
+nn::LlamaConfig tiny_config() {
+  nn::LlamaConfig c;
+  c.vocab = 32;
+  c.hidden = 16;
+  c.intermediate = 40;
+  c.n_heads = 2;
+  c.n_layers = 2;
+  c.seq_len = 8;
+  return c;
+}
+
+TEST(LlamaModel, ParamCountMatchesFormula) {
+  nn::LlamaConfig c = tiny_config();
+  nn::LlamaModel model(c, 1);
+  EXPECT_EQ(model.param_count(), c.param_count());
+  // Manual: 2·V·h + h + L·(2h + 4h² + 3·h·i)
+  const int64_t expected = 2 * 32 * 16 + 16 + 2 * (2 * 16 + 4 * 256 + 3 * 16 * 40);
+  EXPECT_EQ(model.param_count(), expected);
+}
+
+TEST(LlamaModel, ParameterListShapes) {
+  nn::LlamaModel model(tiny_config(), 1);
+  auto params = model.parameters();
+  // embed + 2 layers × 9 + final norm + head
+  EXPECT_EQ(params.size(), 2u + 2u * 9u + 1u);
+  for (auto* p : params) {
+    EXPECT_TRUE(p->value.same_shape(p->grad));
+    EXPECT_FALSE(p->name.empty());
+    if (!p->matrix_shaped) EXPECT_EQ(p->value.rows(), 1);
+  }
+  EXPECT_EQ(nn::total_params(params), model.param_count());
+}
+
+TEST(LlamaModel, ForwardShape) {
+  nn::LlamaModel model(tiny_config(), 2);
+  ag::Tape tape;
+  std::vector<int32_t> ids(16, 3);  // 2 sequences of 8
+  ag::Var logits = model.forward(tape, ids);
+  EXPECT_EQ(tape.value(logits).rows(), 16);
+  EXPECT_EQ(tape.value(logits).cols(), 32);
+}
+
+TEST(LlamaModel, DeterministicInitAndForward) {
+  nn::LlamaModel m1(tiny_config(), 7), m2(tiny_config(), 7);
+  std::vector<int32_t> ids(8);
+  for (int i = 0; i < 8; ++i) ids[static_cast<size_t>(i)] = i % 5;
+  ag::Tape t1, t2;
+  const Matrix& l1 = t1.value(m1.forward(t1, ids));
+  const Matrix& l2 = t2.value(m2.forward(t2, ids));
+  EXPECT_TRUE(l1 == l2);
+}
+
+TEST(LlamaModel, DifferentSeedsDifferentInit) {
+  nn::LlamaModel m1(tiny_config(), 7), m2(tiny_config(), 8);
+  EXPECT_GT(max_abs_diff(m1.parameters()[0]->value,
+                         m2.parameters()[0]->value),
+            0.f);
+}
+
+TEST(LlamaModel, InitialLossNearUniform) {
+  nn::LlamaModel model(tiny_config(), 3);
+  ag::Tape tape;
+  std::vector<int32_t> ids(8, 1), targets(8, 2);
+  ag::Var loss = model.loss(tape, ids, targets);
+  // Small-init transformer ⇒ near-uniform logits ⇒ loss ≈ log(vocab).
+  EXPECT_NEAR(tape.value(loss)[0], std::log(32.f), 0.3f);
+}
+
+TEST(LlamaModel, OverfitsAFixedBatch) {
+  nn::LlamaModel model(tiny_config(), 4);
+  optim::AdamW opt;
+  opt.set_lr(5e-3f);
+  std::vector<int32_t> ids = {1, 5, 2, 9, 30, 7, 7, 0};
+  std::vector<int32_t> targets = {5, 2, 9, 30, 7, 7, 0, 11};
+  float first = 0, last = 0;
+  for (int step = 0; step < 150; ++step) {
+    model.zero_grads();
+    ag::Tape tape;
+    ag::Var loss = model.loss(tape, ids, targets);
+    tape.backward(loss);
+    opt.step(model.parameters());
+    if (step == 0) first = tape.value(loss)[0];
+    last = tape.value(loss)[0];
+  }
+  EXPECT_LT(last, 0.25f) << "failed to memorize a single batch";
+  EXPECT_LT(last, first * 0.2f);
+}
+
+TEST(LlamaModel, ZeroGradsClears) {
+  nn::LlamaModel model(tiny_config(), 5);
+  std::vector<int32_t> ids(8, 1), targets(8, 2);
+  model.zero_grads();
+  ag::Tape tape;
+  tape.backward(model.loss(tape, ids, targets));
+  auto params = model.parameters();
+  EXPECT_GT(frobenius_norm(params[0]->grad), 0.0);
+  model.zero_grads();
+  for (auto* p : params) EXPECT_DOUBLE_EQ(frobenius_norm(p->grad), 0.0);
+}
+
+TEST(LlamaModel, SnapshotRestoreRoundTrip) {
+  nn::LlamaModel model(tiny_config(), 6);
+  auto snap = model.snapshot();
+  // Perturb.
+  model.parameters()[1]->value.fill(0.5f);
+  model.restore(snap);
+  ag::Tape tape;
+  std::vector<int32_t> ids(8, 4);
+  const Matrix& l = tape.value(model.forward(tape, ids));
+  nn::LlamaModel fresh(tiny_config(), 6);
+  ag::Tape tape2;
+  EXPECT_TRUE(l == tape2.value(fresh.forward(tape2, ids)));
+}
+
+TEST(LlamaModel, ProxyConfigsValid) {
+  for (auto cfg : {nn::llama_60m_proxy(), nn::llama_130m_proxy(),
+                   nn::llama_350m_proxy(), nn::llama_1b_proxy(),
+                   nn::llama_7b_proxy()}) {
+    EXPECT_EQ(cfg.hidden % cfg.n_heads, 0);
+    EXPECT_EQ((cfg.hidden / cfg.n_heads) % 2, 0);
+    EXPECT_GT(cfg.param_count(), 0);
+  }
+  // The ladder is strictly increasing in parameter count.
+  EXPECT_LT(nn::llama_60m_proxy().param_count(),
+            nn::llama_130m_proxy().param_count());
+  EXPECT_LT(nn::llama_130m_proxy().param_count(),
+            nn::llama_350m_proxy().param_count());
+  EXPECT_LT(nn::llama_350m_proxy().param_count(),
+            nn::llama_1b_proxy().param_count());
+}
+
+}  // namespace
+}  // namespace apollo

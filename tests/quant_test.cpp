@@ -1,0 +1,116 @@
+// INT8 quantization tests: round-trip error bounds, stochastic-rounding
+// unbiasedness, block-quantized state semantics and byte accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/quant.h"
+#include "tensor/ops.h"
+
+namespace apollo {
+namespace {
+
+Matrix random_matrix(int64_t r, int64_t c, uint64_t seed, float scale = 1.f) {
+  Matrix m(r, c);
+  Rng rng(seed);
+  m.fill_gaussian(rng, 0.f, scale);
+  return m;
+}
+
+TEST(GroupQuantized, RoundTripErrorWithinHalfStep) {
+  Matrix m = random_matrix(16, 32, 1);
+  GroupQuantized q = GroupQuantized::quantize(m, 128);
+  Matrix back = q.dequantize();
+  // Per group, error ≤ scale/2 = absmax/254.
+  const int64_t group = 128;
+  for (int64_t g = 0; g * group < m.size(); ++g) {
+    float absmax = 0.f;
+    const int64_t lo = g * group, hi = std::min(m.size(), lo + group);
+    for (int64_t i = lo; i < hi; ++i)
+      absmax = std::max(absmax, std::fabs(m[i]));
+    for (int64_t i = lo; i < hi; ++i)
+      EXPECT_LE(std::fabs(m[i] - back[i]), absmax / 254.f + 1e-7f);
+  }
+}
+
+TEST(GroupQuantized, ExactForQuantizedValues) {
+  Matrix m(1, 4);
+  m[0] = -127.f; m[1] = 0.f; m[2] = 64.f; m[3] = 127.f;
+  GroupQuantized q = GroupQuantized::quantize(m, 4);
+  Matrix back = q.dequantize();
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(back[i], m[i]);
+}
+
+TEST(GroupQuantized, StochasticRoundingUnbiased) {
+  // A value exactly halfway between codes must round up ~50% of the time.
+  Matrix m(1, 2);
+  m[0] = 127.f;  // pins the scale to 1 code unit
+  m[1] = 64.5f;
+  Rng rng(7);
+  int ups = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    GroupQuantized q = GroupQuantized::quantize_stochastic(m, rng, 2);
+    ups += (q.dequantize()[1] > 64.4f);
+  }
+  const double frac = static_cast<double>(ups) / trials;
+  EXPECT_NEAR(frac, 0.5, 0.05);
+}
+
+TEST(GroupQuantized, BytesAccounting) {
+  Matrix m = random_matrix(16, 16, 2);  // 256 elements, 2 groups of 128
+  GroupQuantized q = GroupQuantized::quantize(m, 128);
+  EXPECT_EQ(q.bytes(), 256 + 2 * 4);
+}
+
+TEST(GroupQuantized, PartialLastGroup) {
+  Matrix m = random_matrix(1, 200, 3);  // 1 full group + 72 leftover
+  GroupQuantized q = GroupQuantized::quantize(m, 128);
+  EXPECT_EQ(q.bytes(), 200 + 2 * 4);
+  EXPECT_LT(max_abs_diff(q.dequantize(), m), abs_max(m) / 100.f);
+}
+
+TEST(BlockQuantized, SignedRoundTrip) {
+  Matrix m = random_matrix(8, 32, 4);
+  BlockQuantized b(8, 32, /*signed=*/true);
+  b.store(m);
+  Matrix back = b.load();
+  EXPECT_LT(max_abs_diff(back, m), abs_max(m) / 100.f);
+}
+
+TEST(BlockQuantized, UnsignedRoundTrip) {
+  Matrix m = random_matrix(8, 32, 5);
+  for (int64_t i = 0; i < m.size(); ++i) m[i] = m[i] * m[i];  // non-negative
+  BlockQuantized b(8, 32, /*signed=*/false);
+  b.store(m);
+  Matrix back = b.load();
+  // 255 codes over [0, max]: finer than the signed code for non-negatives.
+  EXPECT_LT(max_abs_diff(back, m), abs_max(m) / 200.f);
+  for (int64_t i = 0; i < back.size(); ++i) EXPECT_GE(back[i], 0.f);
+}
+
+TEST(BlockQuantized, FreshStateLoadsZero) {
+  BlockQuantized b(4, 4, true);
+  Matrix z = b.load();
+  // Unquantized fresh state must decode to exactly zero (scale init 0).
+  for (int64_t i = 0; i < z.size(); ++i) EXPECT_FLOAT_EQ(z[i], 0.f);
+}
+
+TEST(BlockQuantized, BytesAccounting) {
+  BlockQuantized b(2, 128, true, 128);  // 256 elems → 2 blocks
+  EXPECT_EQ(b.bytes(), 256 + 2 * 4);
+}
+
+TEST(BlockQuantized, RepeatedStoreLoadStable) {
+  // store(load()) must be a fixed point (codes already representable).
+  Matrix m = random_matrix(4, 64, 6);
+  BlockQuantized b(4, 64, true);
+  b.store(m);
+  Matrix once = b.load();
+  b.store(once);
+  Matrix twice = b.load();
+  EXPECT_LT(max_abs_diff(once, twice), 1e-6f);
+}
+
+}  // namespace
+}  // namespace apollo

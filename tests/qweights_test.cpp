@@ -1,0 +1,141 @@
+// QuantizedWeightStore (Q-APOLLO weight path) tests.
+#include <gtest/gtest.h>
+
+#include "core/quantized_weights.h"
+#include "linalg/svd.h"
+#include "optim/galore.h"
+#include "tensor/ops.h"
+
+namespace apollo {
+namespace {
+
+std::unique_ptr<nn::Parameter> make_param(int64_t rows, int64_t cols,
+                                          uint64_t seed,
+                                          bool matrix = true) {
+  auto p = std::make_unique<nn::Parameter>("w", rows, cols, matrix);
+  Rng rng(seed);
+  p->value.fill_gaussian(rng, 0.f, 0.1f);
+  return p;
+}
+
+TEST(QuantizedWeightStore, ConstructionQuantizesImmediately) {
+  auto p = make_param(8, 128, 1);
+  Matrix original = p->value;
+  core::QuantizedWeightStore store({p.get()}, 5);
+  // Visible weights now equal the dequantized INT8 values: close to, but
+  // generally not identical to, the fp originals.
+  EXPECT_LT(max_abs_diff(p->value, original), abs_max(original) / 100.f);
+}
+
+TEST(QuantizedWeightStore, RoundTripIsStable) {
+  auto p = make_param(8, 128, 2);
+  core::QuantizedWeightStore store({p.get()}, 6);
+  Matrix after_init = p->value;
+  // Without any update, requantize→dequantize must be a fixed point up to
+  // stochastic-rounding jitter of at most one code unit.
+  store.requantize_from_params();
+  EXPECT_LT(max_abs_diff(p->value, after_init),
+            abs_max(after_init) / 60.f);
+}
+
+TEST(QuantizedWeightStore, AbsorbsUpdates) {
+  auto p = make_param(8, 128, 3);
+  core::QuantizedWeightStore store({p.get()}, 7);
+  Matrix before = p->value;
+  // Apply a large fp update, requantize: the store must follow.
+  for (int64_t i = 0; i < p->value.size(); ++i) p->value[i] += 0.5f;
+  store.requantize_from_params();
+  const double moved = mean(sub(p->value, before));
+  EXPECT_NEAR(moved, 0.5, 0.02);
+}
+
+TEST(QuantizedWeightStore, StochasticRoundingUnbiasedOverSteps) {
+  // A sub-code-unit update must survive *in expectation* across repeated
+  // quantize cycles (the reason Q-GaLore uses stochastic rounding).
+  auto p = make_param(1, 256, 4);
+  p->value.fill(0.5f);
+  p->value[0] = 1.27f;  // pins scale so one code ≈ 0.01
+  core::QuantizedWeightStore store({p.get()}, 8);
+  const double start = mean(p->value);
+  double drift = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    store.dequantize_into_params();
+    for (int64_t i = 1; i < p->value.size(); ++i)
+      p->value[i] += 0.002f;  // 1/5 of a code unit per step
+    store.requantize_from_params();
+  }
+  drift = mean(p->value) - start;
+  // 200 steps × 0.002 ≈ 0.4 expected movement (minus the pinned element).
+  EXPECT_NEAR(drift, 0.4, 0.08);
+}
+
+TEST(QuantizedWeightStore, OneDimParamsStayFp32) {
+  auto gain = make_param(1, 64, 5, /*matrix=*/false);
+  Matrix original = gain->value;
+  core::QuantizedWeightStore store({gain.get()}, 9);
+  EXPECT_TRUE(gain->value == original);  // untouched, bit-exact
+  store.requantize_from_params();
+  EXPECT_TRUE(gain->value == original);
+}
+
+TEST(QuantizedWeightStore, WeightBytesAccounting) {
+  auto w = make_param(8, 128, 6);           // 1024 elems → 8 groups
+  auto gain = make_param(1, 16, 7, false);  // fp32
+  core::QuantizedWeightStore store({w.get(), gain.get()}, 10);
+  EXPECT_EQ(store.weight_bytes(), 1024 + 8 * 4 + 16 * 4);
+}
+
+TEST(Fira, SvdResidualOrthogonalToSubspace) {
+  // With the orthonormal SVD projector, Fira's residual G − PᵀPG must be
+  // orthogonal to the back-projected low-rank component.
+  Matrix g(8, 24);
+  Rng rng(11);
+  g.fill_gaussian(rng);
+  Matrix p = svd_left_projector(g, 3);
+  Matrix low = project_back(project(g, p, ProjectionSide::kLeft), p,
+                            ProjectionSide::kLeft);
+  Matrix residual = sub(g, low);
+  double dot = 0;
+  for (int64_t i = 0; i < g.size(); ++i)
+    dot += static_cast<double>(residual[i]) * low[i];
+  EXPECT_NEAR(dot / (frobenius_norm(residual) * frobenius_norm(low)), 0.0,
+              1e-3);
+}
+
+TEST(GaLore8bit, StateBytesBelowFp32GaLore) {
+  auto p1 = make_param(32, 128, 12);
+  auto p2 = make_param(32, 128, 12);
+  Rng rng(13);
+  p1->grad.fill_gaussian(rng, 0.f, 0.1f);
+  p2->grad = p1->grad;
+  optim::GaloreConfig cfg;
+  cfg.rank = 8;
+  auto fp = optim::GaLore::galore(cfg);
+  auto q8 = optim::GaLore::galore_8bit(cfg);
+  fp->set_lr(1e-3f);
+  q8->set_lr(1e-3f);
+  fp->step({p1.get()});
+  q8->step({p2.get()});
+  EXPECT_LT(q8->state_bytes(), fp->state_bytes());
+  // And the 8-bit step still tracks the fp32 one at coarse resolution.
+  EXPECT_LT(max_abs_diff(p1->value, p2->value), 5e-3f);
+}
+
+TEST(GaLore8bit, TrainsOnRepeatedSteps) {
+  auto p = make_param(32, 128, 14);
+  optim::GaloreConfig cfg;
+  cfg.rank = 8;
+  auto opt = optim::GaLore::galore_8bit(cfg);
+  opt->set_lr(1e-2f);
+  Rng rng(15);
+  Matrix start = p->value;
+  for (int s = 0; s < 10; ++s) {
+    p->grad.fill_gaussian(rng, 0.f, 0.1f);
+    opt->step({p.get()});
+  }
+  EXPECT_GT(max_abs_diff(p->value, start), 1e-3f);
+}
+
+}  // namespace
+}  // namespace apollo

@@ -1,0 +1,138 @@
+// Exact-training-resume tests: save at step k, reload into fresh objects,
+// continue — the trajectory must be bit-identical to an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include "core/apollo.h"
+#include "data/corpus.h"
+#include "optim/adamw.h"
+#include "optim/sgd.h"
+#include "train/checkpoint.h"
+
+namespace apollo {
+namespace {
+
+nn::LlamaConfig tiny() {
+  nn::LlamaConfig c;
+  c.vocab = 48;
+  c.hidden = 16;
+  c.intermediate = 40;
+  c.n_heads = 2;
+  c.n_layers = 1;
+  c.seq_len = 8;
+  return c;
+}
+
+// Pre-generates a fixed batch stream so both runs consume identical data.
+struct FixedBatches {
+  std::vector<std::vector<int32_t>> ids, targets;
+  explicit FixedBatches(int n) {
+    data::CorpusConfig ccfg;
+    ccfg.vocab = 48;
+    data::SyntheticCorpus corpus(ccfg);
+    data::BatchLoader loader(corpus, 2, 8, 5);
+    ids.resize(static_cast<size_t>(n));
+    targets.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+      loader.next(ids[static_cast<size_t>(i)], targets[static_cast<size_t>(i)]);
+  }
+};
+
+void train_steps(nn::LlamaModel& model, optim::Optimizer& opt,
+                 const FixedBatches& data, int from, int to) {
+  for (int s = from; s < to; ++s) {
+    model.zero_grads();
+    ag::Tape tape;
+    tape.backward(model.loss(tape, data.ids[static_cast<size_t>(s)],
+                             data.targets[static_cast<size_t>(s)]));
+    opt.set_lr(1e-3f);
+    opt.step(model.parameters());
+  }
+}
+
+template <typename MakeOpt>
+void check_exact_resume(MakeOpt make_opt, bool expect_state) {
+  const FixedBatches data(24);
+  const std::string path =
+      std::string(::testing::TempDir()) + "resume_test.ckpt";
+
+  // Uninterrupted run: 24 steps.
+  nn::LlamaModel ref(tiny(), 1);
+  auto ref_opt = make_opt();
+  train_steps(ref, *ref_opt, data, 0, 24);
+
+  // Interrupted run: 10 steps, save, reload into fresh objects, 14 more.
+  nn::LlamaModel first(tiny(), 1);
+  auto first_opt = make_opt();
+  train_steps(first, *first_opt, data, 0, 10);
+  // The projector refresh period (update_freq) deliberately divides 24 but
+  // not 10, so resumed runs cross a re-seed boundary.
+  auto saved = train::save_checkpoint(path, first, 10, first_opt.get());
+  ASSERT_TRUE(saved.ok) << saved.error;
+  EXPECT_EQ(saved.optimizer_state_restored, expect_state);
+
+  nn::LlamaModel resumed(tiny(), 2);  // different init — must be overwritten
+  auto resumed_opt = make_opt();
+  auto loaded = train::load_checkpoint(path, resumed, resumed_opt.get());
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.step, 10);
+  EXPECT_EQ(loaded.optimizer_state_restored, expect_state);
+  train_steps(resumed, *resumed_opt, data, 10, 24);
+
+  auto pr = ref.parameters();
+  auto ps = resumed.parameters();
+  for (size_t i = 0; i < pr.size(); ++i) {
+    if (expect_state) {
+      EXPECT_TRUE(pr[i]->value == ps[i]->value)
+          << "exact-resume mismatch at " << pr[i]->name;
+    } else {
+      // Weights-only resume: trajectories diverge (fresh moments).
+      // Nothing to assert beyond successful load.
+    }
+  }
+}
+
+TEST(Resume, AdamWExact) {
+  check_exact_resume([] { return std::make_unique<optim::AdamW>(); }, true);
+}
+
+TEST(Resume, ApolloExact) {
+  check_exact_resume(
+      [] {
+        core::ApolloConfig cfg;
+        cfg.rank = 4;
+        cfg.update_freq = 12;  // re-seed boundary crossed after resume
+        cfg.seed = 9;
+        return core::Apollo::standard(cfg);
+      },
+      true);
+}
+
+TEST(Resume, ApolloMiniExact) {
+  check_exact_resume([] { return core::Apollo::mini(31); }, true);
+}
+
+TEST(Resume, UnsupportedOptimizerFallsBackToWeightsOnly) {
+  check_exact_resume([] { return std::make_unique<optim::Sgd>(0.9f); },
+                     false);
+}
+
+TEST(Resume, MismatchedOptimizerSkipsState) {
+  const FixedBatches data(4);
+  const std::string path =
+      std::string(::testing::TempDir()) + "resume_mismatch.ckpt";
+  nn::LlamaModel model(tiny(), 1);
+  optim::AdamW adamw;
+  train_steps(model, adamw, data, 0, 4);
+  ASSERT_TRUE(train::save_checkpoint(path, model, 4, &adamw).ok);
+
+  nn::LlamaModel other(tiny(), 2);
+  auto apollo_opt = core::Apollo::standard({});
+  auto r = train::load_checkpoint(path, other, apollo_opt.get());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.optimizer_state_restored);  // name mismatch → weights only
+  // Weights still restored correctly.
+  EXPECT_TRUE(other.parameters()[0]->value == model.parameters()[0]->value);
+}
+
+}  // namespace
+}  // namespace apollo

@@ -1,0 +1,227 @@
+// Memory/throughput model tests: the Table-1 formulas, the paper's reported
+// memory anchor points, and the ordering relations that the Fig. 1/2/9
+// system results rest on.
+#include <gtest/gtest.h>
+
+#include "sysmodel/memory_model.h"
+#include "sysmodel/throughput_model.h"
+
+namespace apollo::sysmodel {
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+TEST(MemoryModel, ParamCountsMatchPaperScale) {
+  // Table 8 models; counts should land near the nominal sizes.
+  EXPECT_NEAR(spec_llama_60m().param_count() / 1e6, 58, 10);
+  EXPECT_NEAR(spec_llama_130m().param_count() / 1e6, 134, 15);
+  EXPECT_NEAR(spec_llama_350m().param_count() / 1e6, 368, 30);
+  // Table 8's "1B" config is nominal; actual count is ~1.74B.
+  EXPECT_NEAR(spec_llama_1b().param_count() / 1e9, 1.74, 0.2);
+  EXPECT_NEAR(spec_llama_7b().param_count() / 1e9, 6.74, 0.5);
+  EXPECT_NEAR(spec_llama_13b().param_count() / 1e9, 13.0, 1.0);
+}
+
+TEST(MemoryModel, Table1FormulasPerMatrix) {
+  const int64_t m = 512, n = 2048, r = 128;
+  EXPECT_EQ(state_elements(Method::kAdamW, m, n, r), 2 * m * n);
+  EXPECT_EQ(state_elements(Method::kSgd, m, n, r), 0);
+  EXPECT_EQ(state_elements(Method::kSgdMomentum, m, n, r), m * n);
+  EXPECT_EQ(state_elements(Method::kAdamMini, m, n, r), m * n + m);
+  EXPECT_EQ(state_elements(Method::kGaLore, m, n, r), m * r + 2 * n * r);
+  EXPECT_EQ(state_elements(Method::kFira, m, n, r), m * r + 2 * n * r + 1);
+  EXPECT_EQ(state_elements(Method::kFlora, m, n, r), 2 * n * r + 1);
+  EXPECT_EQ(state_elements(Method::kApollo, m, n, r), 2 * n * r + 2);
+  EXPECT_EQ(state_elements(Method::kApolloMini, m, n, r), 2 * n + 2);
+}
+
+TEST(MemoryModel, ShapeOrientationIrrelevant) {
+  // The formulas normalize to m ≤ n internally.
+  EXPECT_EQ(state_elements(Method::kApollo, 2048, 512, 128),
+            state_elements(Method::kApollo, 512, 2048, 128));
+}
+
+TEST(MemoryModel, RankCappedAtMinDim) {
+  EXPECT_EQ(state_elements(Method::kGaLore, 16, 64, 9999),
+            16 * 16 + 2 * 64 * 16);
+}
+
+TEST(MemoryModel, PaperTable2MemoryAnchors) {
+  // Table 2 reports weights+states (BF16). AdamW on 60M: 0.36G;
+  // GaLore r=128: 0.24G; APOLLO-Mini: 0.12G.
+  auto model = spec_llama_60m();
+  auto total = [&](Method m, int64_t rank) {
+    MethodSpec ms;
+    ms.method = m;
+    ms.rank = rank;
+    auto b = estimate_memory(model, ms, 1);
+    return (b.weights + b.optimizer_states) / kGiB;
+  };
+  EXPECT_NEAR(total(Method::kAdamW, 0), 0.36, 0.06);
+  // The paper quotes GaLore's published 0.24G estimate, which keeps dense
+  // Adam states on the embeddings; our accounting projects every 2-D weight
+  // (as the APOLLO-Mini row requires), landing slightly lower. Assert the
+  // band and the orderings rather than the quoted point value.
+  EXPECT_GT(total(Method::kGaLore, 128), 0.14);
+  EXPECT_LT(total(Method::kGaLore, 128), 0.30);
+  EXPECT_LE(total(Method::kApollo, 128), total(Method::kGaLore, 128));
+  EXPECT_LT(total(Method::kApollo, 64), total(Method::kApollo, 128));
+  EXPECT_NEAR(total(Method::kApolloMini, 1), 0.12, 0.03);
+}
+
+TEST(MemoryModel, PaperTable3OptimizerStateAnchors) {
+  // Table 3 (7B): 8-bit Adam 13G, 8-bit GaLore 4.9G, APOLLO r=256 1.6G,
+  // APOLLO-Mini ~0G.
+  auto model = spec_llama_7b();
+  auto states = [&](Method m, int64_t rank, int bits) {
+    MethodSpec ms;
+    ms.method = m;
+    ms.rank = rank;
+    ms.state_bits = bits;
+    return estimate_memory(model, ms, 1).optimizer_states / kGiB;
+  };
+  EXPECT_NEAR(states(Method::kAdamW, 0, 8), 13.0, 1.5);
+  EXPECT_NEAR(states(Method::kGaLore, 1024, 8), 4.9, 1.2);
+  EXPECT_NEAR(states(Method::kApollo, 256, 16), 1.6, 0.5);
+  EXPECT_LT(states(Method::kApolloMini, 1, 16), 0.1);
+}
+
+TEST(MemoryModel, OrderingAcrossMethods) {
+  auto model = spec_llama_350m();
+  auto states = [&](Method m, int64_t rank) {
+    MethodSpec ms;
+    ms.method = m;
+    ms.rank = rank;
+    return estimate_memory(model, ms, 1).optimizer_states;
+  };
+  const int64_t r = 256;  // 1/4 of hidden
+  EXPECT_GT(states(Method::kAdamW, 0), states(Method::kAdamMini, 0));
+  EXPECT_GT(states(Method::kAdamMini, 0), states(Method::kGaLore, r));
+  EXPECT_GT(states(Method::kGaLore, r), states(Method::kApollo, r));
+  EXPECT_GT(states(Method::kApollo, r), states(Method::kApollo, r / 2));
+  EXPECT_GT(states(Method::kApollo, r / 2), states(Method::kApolloMini, 1));
+  EXPECT_GT(states(Method::kApolloMini, 1), states(Method::kSgd, 0));
+}
+
+TEST(MemoryModel, QuantizedWeightsShrink) {
+  auto model = spec_llama_7b();
+  MethodSpec fp;
+  fp.method = Method::kApolloMini;
+  fp.rank = 1;
+  MethodSpec q = fp;
+  q.weight_bits = 8;
+  const auto bfp = estimate_memory(model, fp, 1);
+  const auto bq = estimate_memory(model, q, 1);
+  EXPECT_LT(bq.weights, bfp.weights * 0.55);
+}
+
+TEST(MemoryModel, TwelveGigLlama7bClaim) {
+  // Fig. 1 (middle): Q-APOLLO-Mini + layer-wise gradient updates pre-trains
+  // LLaMA-7B under 12 GB at micro-batch 1 (seq 256).
+  MethodSpec ms;
+  ms.method = Method::kApolloMini;
+  ms.rank = 1;
+  ms.weight_bits = 8;
+  ms.layerwise_grad_update = true;
+  const auto b = estimate_memory(spec_llama_7b(), ms, 1);
+  EXPECT_LT(b.total() / kGiB, 12.0);
+  // While AdamW at the same batch needs far more.
+  MethodSpec adamw;
+  const auto ba = estimate_memory(spec_llama_7b(), adamw, 1);
+  EXPECT_GT(ba.total() / kGiB, 50.0);
+}
+
+TEST(MemoryModel, Llama13bFitsA100WithApolloMini) {
+  // The naive-DDP 13B claim: APOLLO-Mini under 80 GB at a usable batch.
+  MethodSpec ms;
+  ms.method = Method::kApolloMini;
+  ms.rank = 1;
+  const int64_t cap = 80ll << 30;
+  EXPECT_GE(max_micro_batch(spec_llama_13b(), ms, cap), 1);
+  MethodSpec adamw;
+  EXPECT_EQ(max_micro_batch(spec_llama_13b(), adamw, cap), 0);
+}
+
+TEST(MemoryModel, MaxMicroBatchMonotonicInMemory) {
+  auto model = spec_llama_7b();
+  MethodSpec adamw;
+  MethodSpec apollo;
+  apollo.method = Method::kApollo;
+  apollo.rank = 256;
+  apollo.layerwise_grad_update = true;  // the paper's APOLLO system setting
+  MethodSpec mini;
+  mini.method = Method::kApolloMini;
+  mini.rank = 1;
+  mini.layerwise_grad_update = true;
+  const int64_t cap = 80ll << 30;
+  const int64_t ba = max_micro_batch(model, adamw, cap);
+  const int64_t bp = max_micro_batch(model, apollo, cap);
+  const int64_t bm = max_micro_batch(model, mini, cap);
+  // Fig. 1 anchors: AdamW is stuck at a single-digit micro-batch while
+  // APOLLO reaches ~4× that.
+  EXPECT_GE(ba, 2);
+  EXPECT_LE(ba, 8);
+  EXPECT_LT(ba, bp);
+  EXPECT_LE(bp, bm);
+  EXPECT_GE(bp, 3 * ba);
+}
+
+TEST(ThroughputModel, SvdRefreshCostScalesWithModel) {
+  const double s7b = projector_refresh_seconds(spec_llama_7b(), true);
+  EXPECT_NEAR(s7b, 600.0, 1.0);  // anchored to the paper's 10 minutes
+  EXPECT_LT(projector_refresh_seconds(spec_llama_350m(), true), s7b / 20);
+  EXPECT_LT(projector_refresh_seconds(spec_llama_7b(), false), 1.0);
+}
+
+TEST(ThroughputModel, ApolloBeatsAdamWByAboutThreeTimes) {
+  // Fig. 1 (right): ~3× throughput on 8×A100 from 4× batch.
+  auto model = spec_llama_7b();
+  GpuSpec gpu;
+  MethodSpec adamw;
+  MethodSpec apollo;
+  apollo.method = Method::kApollo;
+  apollo.rank = 256;
+  apollo.layerwise_grad_update = true;
+  const auto ta =
+      end_to_end_throughput(model, adamw, gpu, 512, false, 200);
+  const auto tp =
+      end_to_end_throughput(model, apollo, gpu, 512, false, 200);
+  ASSERT_GT(ta.tokens_per_s, 0);
+  const double speedup = tp.tokens_per_s / ta.tokens_per_s;
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LT(speedup, 5.0);
+}
+
+TEST(ThroughputModel, GaloreSvdTaxVisible) {
+  // Same memory as APOLLO but paying SVD every 200 steps: measurably slower.
+  auto model = spec_llama_7b();
+  GpuSpec gpu;
+  MethodSpec galore;
+  galore.method = Method::kGaLore;
+  galore.rank = 1024;
+  galore.layerwise_grad_update = true;
+  MethodSpec apollo;
+  apollo.method = Method::kApollo;
+  apollo.rank = 256;
+  apollo.layerwise_grad_update = true;
+  const auto tg = end_to_end_throughput(model, galore, gpu, 512, true, 200);
+  const auto tp = end_to_end_throughput(model, apollo, gpu, 512, false, 200);
+  EXPECT_GT(tp.tokens_per_s, tg.tokens_per_s * 1.2);
+}
+
+TEST(ThroughputModel, StepCostComponentsPositive) {
+  auto c = step_cost(spec_llama_7b(), GpuSpec{}, 32, 512, true, 200);
+  EXPECT_GT(c.compute_s, 0);
+  EXPECT_GT(c.projector_s, 0);
+  EXPECT_GT(c.overhead_s, 0);
+  EXPECT_NEAR(c.total(), c.compute_s + c.projector_s + c.overhead_s, 1e-12);
+}
+
+TEST(MemoryModel, MethodNamesComplete) {
+  EXPECT_STREQ(method_name(Method::kApollo), "APOLLO");
+  EXPECT_STREQ(method_name(Method::kApolloMini), "APOLLO-Mini");
+  EXPECT_STREQ(method_name(Method::kGaLore), "GaLore");
+}
+
+}  // namespace
+}  // namespace apollo::sysmodel

@@ -1,0 +1,235 @@
+// Unit tests for the tensor substrate: Matrix, kernels, RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace apollo {
+namespace {
+
+Matrix random_matrix(int64_t r, int64_t c, uint64_t seed) {
+  Matrix m(r, c);
+  Rng rng(seed);
+  m.fill_gaussian(rng);
+  return m;
+}
+
+// Naive reference matmul.
+Matrix ref_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i)
+    for (int64_t j = 0; j < b.cols(); ++j) {
+      double acc = 0;
+      for (int64_t k = 0; k < a.cols(); ++k)
+        acc += static_cast<double>(a.at(i, k)) * b.at(k, j);
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+TEST(Matrix, BasicAccessors) {
+  Matrix m(3, 5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 5);
+  EXPECT_EQ(m.size(), 15);
+  m.at(2, 4) = 7.f;
+  EXPECT_FLOAT_EQ(m.at(2, 4), 7.f);
+  EXPECT_FLOAT_EQ(m[2 * 5 + 4], 7.f);
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(4, 4);
+  for (int64_t i = 0; i < m.size(); ++i) EXPECT_FLOAT_EQ(m[i], 0.f);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m = random_matrix(3, 7, 1);
+  Matrix t = m.transposed();
+  ASSERT_EQ(t.rows(), 7);
+  ASSERT_EQ(t.cols(), 3);
+  for (int64_t r = 0; r < 3; ++r)
+    for (int64_t c = 0; c < 7; ++c) EXPECT_FLOAT_EQ(t.at(c, r), m.at(r, c));
+}
+
+TEST(Matrix, EqualityIsExact) {
+  Matrix a = random_matrix(4, 4, 2);
+  Matrix b = a;
+  EXPECT_TRUE(a == b);
+  b[0] += 1e-7f;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Ops, MatmulMatchesReference) {
+  Matrix a = random_matrix(13, 9, 3);
+  Matrix b = random_matrix(9, 17, 4);
+  EXPECT_LT(max_abs_diff(matmul(a, b), ref_matmul(a, b)), 1e-4f);
+}
+
+TEST(Ops, MatmulAtMatchesReference) {
+  Matrix a = random_matrix(9, 13, 5);
+  Matrix b = random_matrix(9, 17, 6);
+  EXPECT_LT(max_abs_diff(matmul_at(a, b), ref_matmul(a.transposed(), b)),
+            1e-4f);
+}
+
+TEST(Ops, MatmulBtMatchesReference) {
+  Matrix a = random_matrix(13, 9, 7);
+  Matrix b = random_matrix(17, 9, 8);
+  EXPECT_LT(max_abs_diff(matmul_bt(a, b), ref_matmul(a, b.transposed())),
+            1e-4f);
+}
+
+TEST(Ops, MatmulAccumulate) {
+  Matrix a = random_matrix(5, 6, 9);
+  Matrix b = random_matrix(6, 4, 10);
+  Matrix c = random_matrix(5, 4, 11);
+  Matrix expected = c;
+  add_inplace(expected, ref_matmul(a, b));
+  matmul(c, a, b, /*accumulate=*/true);
+  EXPECT_LT(max_abs_diff(c, expected), 1e-4f);
+}
+
+TEST(Ops, AxpyAndScale) {
+  Matrix y = random_matrix(4, 4, 12);
+  Matrix x = random_matrix(4, 4, 13);
+  Matrix expected(4, 4);
+  for (int64_t i = 0; i < 16; ++i) expected[i] = y[i] + 2.5f * x[i];
+  axpy(y, 2.5f, x);
+  EXPECT_LT(max_abs_diff(y, expected), 1e-6f);
+  scale_inplace(y, 0.5f);
+  for (int64_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(y[i], expected[i] * 0.5f);
+}
+
+TEST(Ops, HadamardAndSub) {
+  Matrix a = random_matrix(3, 3, 14);
+  Matrix b = random_matrix(3, 3, 15);
+  Matrix h = a;
+  hadamard_inplace(h, b);
+  Matrix d = sub(a, b);
+  for (int64_t i = 0; i < 9; ++i) {
+    EXPECT_FLOAT_EQ(h[i], a[i] * b[i]);
+    EXPECT_FLOAT_EQ(d[i], a[i] - b[i]);
+  }
+}
+
+TEST(Ops, NormsAndReductions) {
+  Matrix m(2, 2);
+  m[0] = 3.f; m[1] = 4.f; m[2] = 0.f; m[3] = 0.f;
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+  EXPECT_DOUBLE_EQ(sum(m), 7.0);
+  EXPECT_DOUBLE_EQ(mean(m), 1.75);
+  EXPECT_FLOAT_EQ(abs_max(m), 4.f);
+}
+
+TEST(Ops, ColAndRowNorms) {
+  Matrix m(2, 3);
+  // col 0: (1,2), col 1: (2,0), col 2: (0,3)
+  m.at(0, 0) = 1; m.at(1, 0) = 2;
+  m.at(0, 1) = 2; m.at(1, 1) = 0;
+  m.at(0, 2) = 0; m.at(1, 2) = 3;
+  auto cn = col_norms(m);
+  EXPECT_NEAR(cn[0], std::sqrt(5.f), 1e-6);
+  EXPECT_NEAR(cn[1], 2.f, 1e-6);
+  EXPECT_NEAR(cn[2], 3.f, 1e-6);
+  auto rn = row_norms(m);
+  EXPECT_NEAR(rn[0], std::sqrt(5.f), 1e-6);
+  EXPECT_NEAR(rn[1], std::sqrt(13.f), 1e-6);
+}
+
+TEST(Ops, ScaleColsAndRows) {
+  Matrix m = random_matrix(3, 2, 16);
+  Matrix orig = m;
+  scale_cols_inplace(m, {2.f, 3.f});
+  for (int64_t r = 0; r < 3; ++r) {
+    EXPECT_FLOAT_EQ(m.at(r, 0), orig.at(r, 0) * 2.f);
+    EXPECT_FLOAT_EQ(m.at(r, 1), orig.at(r, 1) * 3.f);
+  }
+  m = orig;
+  scale_rows_inplace(m, {1.f, 0.f, -1.f});
+  for (int64_t c = 0; c < 2; ++c) {
+    EXPECT_FLOAT_EQ(m.at(0, c), orig.at(0, c));
+    EXPECT_FLOAT_EQ(m.at(1, c), 0.f);
+    EXPECT_FLOAT_EQ(m.at(2, c), -orig.at(2, c));
+  }
+}
+
+// The matmul_bt kernel switches between a transpose-and-stream fast path
+// (m ≥ 4, k ≥ 16) and a direct dot-product path; sweep shapes across the
+// boundary so both paths (and the accumulate variant) stay correct.
+class MatmulBtShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulBtShapeTest, MatchesReferenceBothPaths) {
+  const auto [m, k, n] = GetParam();
+  Matrix a = random_matrix(m, k, 100 + m);
+  Matrix b = random_matrix(n, k, 200 + n);
+  Matrix ref = ref_matmul(a, b.transposed());
+  EXPECT_LT(max_abs_diff(matmul_bt(a, b), ref), 1e-4f);
+  // Accumulate variant.
+  Matrix c = random_matrix(m, n, 300 + k);
+  Matrix expected = c;
+  add_inplace(expected, ref);
+  matmul_bt(c, a, b, /*accumulate=*/true);
+  EXPECT_LT(max_abs_diff(c, expected), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PathBoundary, MatmulBtShapeTest,
+    ::testing::Values(std::tuple{3, 15, 5},   // slow path (both below)
+                      std::tuple{3, 64, 5},   // slow path (m below)
+                      std::tuple{4, 16, 5},   // fast path boundary
+                      std::tuple{8, 15, 7},   // slow path (k below)
+                      std::tuple{8, 16, 7},   // fast path boundary
+                      std::tuple{16, 64, 32},  // fast path typical
+                      std::tuple{1, 8, 1}));   // degenerate
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(9);
+  const int n = 200000;
+  double s1 = 0, s2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    s1 += g;
+    s2 += g * g;
+  }
+  EXPECT_NEAR(s1 / n, 0.0, 0.02);
+  EXPECT_NEAR(s2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, SplitStreamsIndependentish) {
+  Rng rng(10);
+  const uint64_t s1 = rng.split(), s2 = rng.split();
+  EXPECT_NE(s1, s2);
+}
+
+}  // namespace
+}  // namespace apollo

@@ -1,0 +1,69 @@
+// Tiny flag parser for the command-line tools: --name value and --flag
+// forms, with typed getters and an unknown-flag check.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace apollo::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        positional_.push_back(a);
+        continue;
+      }
+      a = a.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[a] = argv[++i];
+      } else {
+        values_[a] = "";  // bare flag
+      }
+    }
+  }
+
+  bool has(const std::string& name) const {
+    used_.insert(name);
+    return values_.count(name) > 0;
+  }
+  std::string get(const std::string& name, const std::string& dflt) const {
+    used_.insert(name);
+    auto it = values_.find(name);
+    return it == values_.end() ? dflt : it->second;
+  }
+  long get_int(const std::string& name, long dflt) const {
+    auto it = values_.find(name);
+    used_.insert(name);
+    return it == values_.end() ? dflt : std::strtol(it->second.c_str(),
+                                                    nullptr, 10);
+  }
+  double get_double(const std::string& name, double dflt) const {
+    auto it = values_.find(name);
+    used_.insert(name);
+    return it == values_.end() ? dflt
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  // Flags that were passed but never queried — typo detection.
+  std::vector<std::string> unknown() const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : values_)
+      if (used_.count(k) == 0) out.push_back("--" + k);
+    return out;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace apollo::tools
