@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_long_context.cpp" "bench/CMakeFiles/bench_fig7_long_context.dir/bench_fig7_long_context.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_long_context.dir/bench_fig7_long_context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/apollo_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_sysmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

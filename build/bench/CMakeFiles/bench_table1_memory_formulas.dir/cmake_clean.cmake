@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_memory_formulas.dir/bench_table1_memory_formulas.cpp.o"
+  "CMakeFiles/bench_table1_memory_formulas.dir/bench_table1_memory_formulas.cpp.o.d"
+  "bench_table1_memory_formulas"
+  "bench_table1_memory_formulas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_memory_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

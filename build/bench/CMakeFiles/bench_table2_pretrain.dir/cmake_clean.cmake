@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pretrain.dir/bench_table2_pretrain.cpp.o"
+  "CMakeFiles/bench_table2_pretrain.dir/bench_table2_pretrain.cpp.o.d"
+  "bench_table2_pretrain"
+  "bench_table2_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

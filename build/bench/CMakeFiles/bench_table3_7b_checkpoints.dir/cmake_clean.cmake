@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_7b_checkpoints.dir/bench_table3_7b_checkpoints.cpp.o"
+  "CMakeFiles/bench_table3_7b_checkpoints.dir/bench_table3_7b_checkpoints.cpp.o.d"
+  "bench_table3_7b_checkpoints"
+  "bench_table3_7b_checkpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_7b_checkpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_finetune_mmlu.dir/bench_table5_finetune_mmlu.cpp.o"
+  "CMakeFiles/bench_table5_finetune_mmlu.dir/bench_table5_finetune_mmlu.cpp.o.d"
+  "bench_table5_finetune_mmlu"
+  "bench_table5_finetune_mmlu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_finetune_mmlu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_quantized.dir/bench_table6_quantized.cpp.o"
+  "CMakeFiles/bench_table6_quantized.dir/bench_table6_quantized.cpp.o.d"
+  "bench_table6_quantized"
+  "bench_table6_quantized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_quantized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_tasks.dir/finetune_tasks.cpp.o"
+  "CMakeFiles/finetune_tasks.dir/finetune_tasks.cpp.o.d"
+  "finetune_tasks"
+  "finetune_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

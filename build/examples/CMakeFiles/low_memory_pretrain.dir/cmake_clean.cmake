@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_memory_pretrain.dir/low_memory_pretrain.cpp.o"
+  "CMakeFiles/low_memory_pretrain.dir/low_memory_pretrain.cpp.o.d"
+  "low_memory_pretrain"
+  "low_memory_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_memory_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_planner.dir/memory_planner.cpp.o"
+  "CMakeFiles/memory_planner.dir/memory_planner.cpp.o.d"
+  "memory_planner"
+  "memory_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

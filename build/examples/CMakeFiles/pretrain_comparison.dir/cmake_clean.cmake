@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrain_comparison.dir/pretrain_comparison.cpp.o"
+  "CMakeFiles/pretrain_comparison.dir/pretrain_comparison.cpp.o.d"
+  "pretrain_comparison"
+  "pretrain_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrain_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/ops_attention.cpp" "src/CMakeFiles/apollo_autograd.dir/autograd/ops_attention.cpp.o" "gcc" "src/CMakeFiles/apollo_autograd.dir/autograd/ops_attention.cpp.o.d"
+  "/root/repo/src/autograd/ops_nn.cpp" "src/CMakeFiles/apollo_autograd.dir/autograd/ops_nn.cpp.o" "gcc" "src/CMakeFiles/apollo_autograd.dir/autograd/ops_nn.cpp.o.d"
+  "/root/repo/src/autograd/tape.cpp" "src/CMakeFiles/apollo_autograd.dir/autograd/tape.cpp.o" "gcc" "src/CMakeFiles/apollo_autograd.dir/autograd/tape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/apollo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

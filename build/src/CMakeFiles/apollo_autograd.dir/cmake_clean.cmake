@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_autograd.dir/autograd/ops_attention.cpp.o"
+  "CMakeFiles/apollo_autograd.dir/autograd/ops_attention.cpp.o.d"
+  "CMakeFiles/apollo_autograd.dir/autograd/ops_nn.cpp.o"
+  "CMakeFiles/apollo_autograd.dir/autograd/ops_nn.cpp.o.d"
+  "CMakeFiles/apollo_autograd.dir/autograd/tape.cpp.o"
+  "CMakeFiles/apollo_autograd.dir/autograd/tape.cpp.o.d"
+  "libapollo_autograd.a"
+  "libapollo_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apollo.cpp" "src/CMakeFiles/apollo_core.dir/core/apollo.cpp.o" "gcc" "src/CMakeFiles/apollo_core.dir/core/apollo.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/CMakeFiles/apollo_core.dir/core/factory.cpp.o" "gcc" "src/CMakeFiles/apollo_core.dir/core/factory.cpp.o.d"
+  "/root/repo/src/core/quantized_weights.cpp" "src/CMakeFiles/apollo_core.dir/core/quantized_weights.cpp.o" "gcc" "src/CMakeFiles/apollo_core.dir/core/quantized_weights.cpp.o.d"
+  "/root/repo/src/core/structured_adamw.cpp" "src/CMakeFiles/apollo_core.dir/core/structured_adamw.cpp.o" "gcc" "src/CMakeFiles/apollo_core.dir/core/structured_adamw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/apollo_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

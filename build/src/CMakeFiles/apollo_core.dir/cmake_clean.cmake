@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_core.dir/core/apollo.cpp.o"
+  "CMakeFiles/apollo_core.dir/core/apollo.cpp.o.d"
+  "CMakeFiles/apollo_core.dir/core/factory.cpp.o"
+  "CMakeFiles/apollo_core.dir/core/factory.cpp.o.d"
+  "CMakeFiles/apollo_core.dir/core/quantized_weights.cpp.o"
+  "CMakeFiles/apollo_core.dir/core/quantized_weights.cpp.o.d"
+  "CMakeFiles/apollo_core.dir/core/structured_adamw.cpp.o"
+  "CMakeFiles/apollo_core.dir/core/structured_adamw.cpp.o.d"
+  "libapollo_core.a"
+  "libapollo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corpus.cpp" "src/CMakeFiles/apollo_data.dir/data/corpus.cpp.o" "gcc" "src/CMakeFiles/apollo_data.dir/data/corpus.cpp.o.d"
+  "/root/repo/src/data/tasks.cpp" "src/CMakeFiles/apollo_data.dir/data/tasks.cpp.o" "gcc" "src/CMakeFiles/apollo_data.dir/data/tasks.cpp.o.d"
+  "/root/repo/src/data/text_corpus.cpp" "src/CMakeFiles/apollo_data.dir/data/text_corpus.cpp.o" "gcc" "src/CMakeFiles/apollo_data.dir/data/text_corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/apollo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

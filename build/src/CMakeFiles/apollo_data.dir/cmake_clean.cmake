@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_data.dir/data/corpus.cpp.o"
+  "CMakeFiles/apollo_data.dir/data/corpus.cpp.o.d"
+  "CMakeFiles/apollo_data.dir/data/tasks.cpp.o"
+  "CMakeFiles/apollo_data.dir/data/tasks.cpp.o.d"
+  "CMakeFiles/apollo_data.dir/data/text_corpus.cpp.o"
+  "CMakeFiles/apollo_data.dir/data/text_corpus.cpp.o.d"
+  "libapollo_data.a"
+  "libapollo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_linalg.dir/linalg/projection.cpp.o"
+  "CMakeFiles/apollo_linalg.dir/linalg/projection.cpp.o.d"
+  "CMakeFiles/apollo_linalg.dir/linalg/svd.cpp.o"
+  "CMakeFiles/apollo_linalg.dir/linalg/svd.cpp.o.d"
+  "libapollo_linalg.a"
+  "libapollo_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/inference.cpp" "src/CMakeFiles/apollo_nn.dir/nn/inference.cpp.o" "gcc" "src/CMakeFiles/apollo_nn.dir/nn/inference.cpp.o.d"
+  "/root/repo/src/nn/llama.cpp" "src/CMakeFiles/apollo_nn.dir/nn/llama.cpp.o" "gcc" "src/CMakeFiles/apollo_nn.dir/nn/llama.cpp.o.d"
+  "/root/repo/src/nn/sampler.cpp" "src/CMakeFiles/apollo_nn.dir/nn/sampler.cpp.o" "gcc" "src/CMakeFiles/apollo_nn.dir/nn/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/apollo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_nn.dir/nn/inference.cpp.o"
+  "CMakeFiles/apollo_nn.dir/nn/inference.cpp.o.d"
+  "CMakeFiles/apollo_nn.dir/nn/llama.cpp.o"
+  "CMakeFiles/apollo_nn.dir/nn/llama.cpp.o.d"
+  "CMakeFiles/apollo_nn.dir/nn/sampler.cpp.o"
+  "CMakeFiles/apollo_nn.dir/nn/sampler.cpp.o.d"
+  "libapollo_nn.a"
+  "libapollo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/adafactor.cpp" "src/CMakeFiles/apollo_optim.dir/optim/adafactor.cpp.o" "gcc" "src/CMakeFiles/apollo_optim.dir/optim/adafactor.cpp.o.d"
+  "/root/repo/src/optim/adamw.cpp" "src/CMakeFiles/apollo_optim.dir/optim/adamw.cpp.o" "gcc" "src/CMakeFiles/apollo_optim.dir/optim/adamw.cpp.o.d"
+  "/root/repo/src/optim/dense_adam.cpp" "src/CMakeFiles/apollo_optim.dir/optim/dense_adam.cpp.o" "gcc" "src/CMakeFiles/apollo_optim.dir/optim/dense_adam.cpp.o.d"
+  "/root/repo/src/optim/galore.cpp" "src/CMakeFiles/apollo_optim.dir/optim/galore.cpp.o" "gcc" "src/CMakeFiles/apollo_optim.dir/optim/galore.cpp.o.d"
+  "/root/repo/src/optim/lowrank.cpp" "src/CMakeFiles/apollo_optim.dir/optim/lowrank.cpp.o" "gcc" "src/CMakeFiles/apollo_optim.dir/optim/lowrank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/apollo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apollo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

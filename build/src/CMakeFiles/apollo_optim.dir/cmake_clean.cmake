@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_optim.dir/optim/adafactor.cpp.o"
+  "CMakeFiles/apollo_optim.dir/optim/adafactor.cpp.o.d"
+  "CMakeFiles/apollo_optim.dir/optim/adamw.cpp.o"
+  "CMakeFiles/apollo_optim.dir/optim/adamw.cpp.o.d"
+  "CMakeFiles/apollo_optim.dir/optim/dense_adam.cpp.o"
+  "CMakeFiles/apollo_optim.dir/optim/dense_adam.cpp.o.d"
+  "CMakeFiles/apollo_optim.dir/optim/galore.cpp.o"
+  "CMakeFiles/apollo_optim.dir/optim/galore.cpp.o.d"
+  "CMakeFiles/apollo_optim.dir/optim/lowrank.cpp.o"
+  "CMakeFiles/apollo_optim.dir/optim/lowrank.cpp.o.d"
+  "libapollo_optim.a"
+  "libapollo_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_quant.dir/quant/quant.cpp.o"
+  "CMakeFiles/apollo_quant.dir/quant/quant.cpp.o.d"
+  "libapollo_quant.a"
+  "libapollo_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_sysmodel.dir/sysmodel/memory_model.cpp.o"
+  "CMakeFiles/apollo_sysmodel.dir/sysmodel/memory_model.cpp.o.d"
+  "CMakeFiles/apollo_sysmodel.dir/sysmodel/throughput_model.cpp.o"
+  "CMakeFiles/apollo_sysmodel.dir/sysmodel/throughput_model.cpp.o.d"
+  "libapollo_sysmodel.a"
+  "libapollo_sysmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_sysmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_tensor.dir/tensor/matrix.cpp.o"
+  "CMakeFiles/apollo_tensor.dir/tensor/matrix.cpp.o.d"
+  "CMakeFiles/apollo_tensor.dir/tensor/ops.cpp.o"
+  "CMakeFiles/apollo_tensor.dir/tensor/ops.cpp.o.d"
+  "CMakeFiles/apollo_tensor.dir/tensor/rng.cpp.o"
+  "CMakeFiles/apollo_tensor.dir/tensor/rng.cpp.o.d"
+  "libapollo_tensor.a"
+  "libapollo_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_train.dir/train/checkpoint.cpp.o"
+  "CMakeFiles/apollo_train.dir/train/checkpoint.cpp.o.d"
+  "CMakeFiles/apollo_train.dir/train/finetune.cpp.o"
+  "CMakeFiles/apollo_train.dir/train/finetune.cpp.o.d"
+  "CMakeFiles/apollo_train.dir/train/mechanism_eval.cpp.o"
+  "CMakeFiles/apollo_train.dir/train/mechanism_eval.cpp.o.d"
+  "CMakeFiles/apollo_train.dir/train/trainer.cpp.o"
+  "CMakeFiles/apollo_train.dir/train/trainer.cpp.o.d"
+  "libapollo_train.a"
+  "libapollo_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adafactor_test.dir/adafactor_test.cpp.o"
+  "CMakeFiles/adafactor_test.dir/adafactor_test.cpp.o.d"
+  "adafactor_test"
+  "adafactor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adafactor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_test.dir/apollo_test.cpp.o"
+  "CMakeFiles/apollo_test.dir/apollo_test.cpp.o.d"
+  "apollo_test"
+  "apollo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf16_adam_test.dir/bf16_adam_test.cpp.o"
+  "CMakeFiles/bf16_adam_test.dir/bf16_adam_test.cpp.o.d"
+  "bf16_adam_test"
+  "bf16_adam_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf16_adam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golore_test.dir/golore_test.cpp.o"
+  "CMakeFiles/golore_test.dir/golore_test.cpp.o.d"
+  "golore_test"
+  "golore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qweights_test.dir/qweights_test.cpp.o"
+  "CMakeFiles/qweights_test.dir/qweights_test.cpp.o.d"
+  "qweights_test"
+  "qweights_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qweights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

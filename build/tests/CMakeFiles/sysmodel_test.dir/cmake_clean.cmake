@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysmodel_test.dir/sysmodel_test.cpp.o"
+  "CMakeFiles/sysmodel_test.dir/sysmodel_test.cpp.o.d"
+  "sysmodel_test"
+  "sysmodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textdata_test.dir/textdata_test.cpp.o"
+  "CMakeFiles/textdata_test.dir/textdata_test.cpp.o.d"
+  "textdata_test"
+  "textdata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textdata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

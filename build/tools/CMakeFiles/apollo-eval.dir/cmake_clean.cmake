@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo-eval.dir/apollo_eval.cpp.o"
+  "CMakeFiles/apollo-eval.dir/apollo_eval.cpp.o.d"
+  "apollo-eval"
+  "apollo-eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo-eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

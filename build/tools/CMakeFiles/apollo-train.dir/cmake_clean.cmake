@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo-train.dir/apollo_train.cpp.o"
+  "CMakeFiles/apollo-train.dir/apollo_train.cpp.o.d"
+  "apollo-train"
+  "apollo-train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo-train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
