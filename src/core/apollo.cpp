@@ -2,6 +2,7 @@
 
 #include "tensor/serialize.h"
 
+#include "core/threadpool.h"
 #include "linalg/svd.h"
 #include "tensor/ops.h"
 
@@ -73,12 +74,17 @@ void Apollo::update_matrix_param(nn::Parameter* p) {
   const float bc1 = 1.f - std::pow(b1, static_cast<float>(s.local_t));
   const float bc2 = 1.f - std::pow(b2, static_cast<float>(s.local_t));
   Matrix rtilde(rg.rows(), rg.cols());
-  for (int64_t i = 0; i < rg.size(); ++i) {
-    s.m[i] = b1 * s.m[i] + (1.f - b1) * rg[i];
-    s.v[i] = b2 * s.v[i] + (1.f - b2) * rg[i] * rg[i];
-    rtilde[i] =
-        (s.m[i] / bc1) / (std::sqrt(s.v[i] / bc2) + cfg_.hyper.eps);
-  }
+  core::parallel_for(
+      rg.size(),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          s.m[i] = b1 * s.m[i] + (1.f - b1) * rg[i];
+          s.v[i] = b2 * s.v[i] + (1.f - b2) * rg[i] * rg[i];
+          rtilde[i] =
+              (s.m[i] / bc1) / (std::sqrt(s.v[i] / bc2) + cfg_.hyper.eps);
+        }
+      },
+      /*grain=*/1 << 13);
 
   // Step 3: structured scaling factors from the compressed space.
   Matrix update = g;
@@ -112,8 +118,13 @@ void Apollo::update_matrix_param(nn::Parameter* p) {
   // Step 4: update the weight in the original space (decoupled decay).
   const float wd = cfg_.hyper.weight_decay;
   const float eta = lr_ * cfg_.scale;
-  for (int64_t i = 0; i < p->value.size(); ++i)
-    p->value[i] -= eta * update[i] + lr_ * wd * p->value[i];
+  core::parallel_for(
+      p->value.size(),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+          p->value[i] -= eta * update[i] + lr_ * wd * p->value[i];
+      },
+      /*grain=*/1 << 13);
 }
 
 int64_t Apollo::state_bytes() const {

@@ -25,12 +25,19 @@ const std::vector<std::string>& known_optimizers() {
   return names;
 }
 
+// Defaults are tuned for the factory's consumers (the optimizer-contract
+// tests and the CLI tools), where runs are a few hundred steps: a normalized
+// Adam-style update moves ≈ lr per element per step, so lr·steps must cover
+// unit-scale distances. The paper benches do NOT use these — exp_common.h
+// pins the paper's own per-method learning rates (3e-3 AdamW at nano scale,
+// the untuned 1e-2 the projected family inherits from GaLore).
 float default_lr(const std::string& name) {
   if (name.rfind("sgd", 0) == 0) return 5e-2f;
   if (name.rfind("galore", 0) == 0 || name == "golore" || name == "fira" ||
-      name == "flora" || name.rfind("apollo", 0) == 0)
-    return 1e-2f;
-  return 3e-3f;  // AdamW family, adapters, structured variants
+      name == "flora")
+    return 1e-2f;  // paired with the α = 4 fallback scale below
+  if (name.rfind("apollo", 0) == 0) return 2e-2f;
+  return 1e-2f;  // AdamW family, adapters, structured variants
 }
 
 std::unique_ptr<optim::Optimizer> make_optimizer(const std::string& name,
@@ -56,7 +63,10 @@ std::unique_ptr<optim::Optimizer> make_optimizer(const std::string& name,
       name == "flora") {
     optim::GaloreConfig cfg;
     cfg.rank = o.rank;
-    cfg.scale = o.scale >= 0.f ? o.scale : 0.25f;
+    // Fallback α = 4, GaLore's fine-tuning scale — right for the short
+    // (~10²-step) runs the factory serves. The paper's pre-training α = 0.25
+    // amortizes over 10⁴ steps and is passed explicitly by the benches.
+    cfg.scale = o.scale >= 0.f ? o.scale : 4.f;
     cfg.update_freq = o.update_freq;
     cfg.seed = o.seed;
     cfg.hyper = hyper;

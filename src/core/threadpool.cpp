@@ -1,0 +1,155 @@
+#include "core/threadpool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace apollo::core {
+namespace {
+
+// True on any thread currently executing inside a parallel region (worker
+// threads permanently; the caller thread while it runs its own chunk).
+// Nested parallel_for calls see it and run sequentially.
+thread_local bool tl_inside_parallel_region = false;
+
+int env_thread_count() {
+  if (const char* env = std::getenv("APOLLO_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n < kMaxThreads ? n : kMaxThreads;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return hw < static_cast<unsigned>(kMaxThreads) ? static_cast<int>(hw)
+                                                 : kMaxThreads;
+}
+
+std::atomic<int> g_thread_override{0};
+
+// Chunk `lane` of [0, n) split into `lanes` contiguous pieces. Pure in
+// (n, lanes, lane): the partition — and therefore which indices land
+// together — never depends on runtime timing.
+std::pair<int64_t, int64_t> lane_range(int64_t n, int lanes, int lane) {
+  return {n * lane / lanes, n * (lane + 1) / lanes};
+}
+
+// Lazily-started persistent worker pool. One generation counter per job;
+// workers idle on a condition variable between jobs. A single run_mu_
+// serializes parallel regions from different caller threads.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(int lanes, int64_t n,
+           const std::function<void(int64_t, int64_t)>& fn) {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ensure_workers_locked(lanes - 1);
+      task_ = &fn;
+      job_n_ = n;
+      job_lanes_ = lanes;
+      pending_ = lanes - 1;
+      ++job_id_;
+    }
+    cv_job_.notify_all();
+
+    // The caller is lane 0.
+    const auto [begin, end] = lane_range(n, lanes, 0);
+    tl_inside_parallel_region = true;
+    fn(begin, end);
+    tl_inside_parallel_region = false;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_job_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+ private:
+  Pool() = default;
+
+  // Lanes 1..wanted must have a backing thread; lane 0 is the caller.
+  void ensure_workers_locked(int wanted) {
+    while (static_cast<int>(workers_.size()) < wanted) {
+      const int lane = static_cast<int>(workers_.size()) + 1;
+      workers_.emplace_back([this, lane] { worker_main(lane); });
+    }
+  }
+
+  void worker_main(int lane) {
+    tl_inside_parallel_region = true;
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_job_.wait(lock, [&] { return stop_ || job_id_ != seen; });
+      if (stop_) return;
+      seen = job_id_;
+      if (lane < job_lanes_) {
+        const std::function<void(int64_t, int64_t)>* fn = task_;
+        const int64_t n = job_n_;
+        const int lanes = job_lanes_;
+        lock.unlock();
+        const auto [begin, end] = lane_range(n, lanes, lane);
+        (*fn)(begin, end);
+        lock.lock();
+        if (--pending_ == 0) cv_done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex run_mu_;  // serializes whole parallel regions
+  std::mutex mu_;      // guards all fields below
+  std::condition_variable cv_job_, cv_done_;
+  std::vector<std::thread> workers_;
+  const std::function<void(int64_t, int64_t)>* task_ = nullptr;
+  int64_t job_n_ = 0;
+  int job_lanes_ = 0;
+  int pending_ = 0;
+  uint64_t job_id_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int thread_count() {
+  const int override_n = g_thread_override.load(std::memory_order_relaxed);
+  if (override_n > 0) return override_n;
+  static const int resolved = env_thread_count();
+  return resolved;
+}
+
+void set_thread_count(int n) {
+  if (n > kMaxThreads) n = kMaxThreads;
+  g_thread_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t grain) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  int lanes = thread_count();
+  const int64_t max_lanes = n / grain;  // every lane gets ≥ grain indices
+  if (max_lanes < lanes) lanes = static_cast<int>(max_lanes);
+  if (lanes <= 1 || tl_inside_parallel_region) {
+    fn(0, n);
+    return;
+  }
+  Pool::instance().run(lanes, n, fn);
+}
+
+}  // namespace apollo::core

@@ -1,0 +1,49 @@
+// Deterministic fixed-partition thread pool for the tensor/optimizer hot
+// paths.
+//
+// Design contract: `parallel_for(n, fn, grain)` splits the index range
+// [0, n) into at most `thread_count()` *contiguous* chunks (chunk i =
+// [i·n/T, (i+1)·n/T)) and runs `fn(begin, end)` on each chunk. There is no
+// work stealing and no dynamic scheduling: the partition is a pure function
+// of (n, T), and every index is processed exactly once, in ascending order
+// within its chunk.
+//
+// Determinism guarantee: every kernel routed through `parallel_for` writes a
+// disjoint set of outputs per index and performs any per-output reduction
+// serially, in the same ascending order the single-threaded code used.
+// Results are therefore bit-identical for ANY thread count — including the
+// sequential fallback — which tests/threadpool_test.cpp asserts end-to-end.
+// Whole-tensor reductions (frobenius_norm, sum, RMS clipping statistics)
+// intentionally stay single-threaded so their accumulation order never
+// changes.
+//
+// Thread count resolution, highest priority first:
+//   1. `set_thread_count(n)` override (used by tests and the scaling bench);
+//   2. the APOLLO_THREADS environment variable;
+//   3. std::thread::hardware_concurrency().
+// Worker threads are started lazily on the first parallel region and reused
+// for the life of the process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace apollo::core {
+
+// Current parallel width (≥ 1). See resolution order above.
+int thread_count();
+
+// Override the parallel width at runtime; n <= 0 restores the
+// APOLLO_THREADS / hardware default. Values above kMaxThreads are clamped.
+void set_thread_count(int n);
+inline constexpr int kMaxThreads = 64;
+
+// Run fn(begin, end) over a deterministic contiguous partition of [0, n).
+// `grain` is the minimum number of indices per chunk: ranges smaller than
+// 2·grain run inline on the calling thread, so tiny tensors never pay
+// dispatch overhead. Nested calls from inside a parallel region degrade to
+// sequential execution (no deadlock, same results).
+void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t grain = 1);
+
+}  // namespace apollo::core

@@ -7,6 +7,9 @@
 
 namespace apollo {
 
+// Projector generation is sequential by construction (the Rng stream must
+// replay bit-exactly from the stored 8-byte seed); project/project_back
+// below inherit multi-threading from the parallel matmul kernels.
 Matrix gaussian_projection(int64_t r, int64_t m, uint64_t seed) {
   APOLLO_CHECK(r >= 1 && m >= 1);
   Matrix p(r, m);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/threadpool.h"
 #include "tensor/ops.h"
 
 namespace apollo::optim {
@@ -42,23 +43,35 @@ void Adafactor::update_matrix(nn::Parameter* p, State& s, float beta2t) {
     s.vcol.assign(static_cast<size_t>(n), 0.f);
   }
 
-  // Factored second-moment EMA: row/column means of G² + ε₁.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* gr = g.row(i);
-    double acc = 0;
-    for (int64_t j = 0; j < n; ++j)
-      acc += static_cast<double>(gr[j]) * gr[j] + cfg_.eps1;
-    s.vrow[static_cast<size_t>(i)] =
-        beta2t * s.vrow[static_cast<size_t>(i)] +
-        (1.f - beta2t) * static_cast<float>(acc / n);
-  }
+  // Factored second-moment EMA: row/column means of G² + ε₁. Row statistics
+  // partition over rows, column statistics over columns; each output's
+  // reduction runs ascending inside one lane (bit-identical to sequential).
+  core::parallel_for(
+      m,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* gr = g.row(i);
+          double acc = 0;
+          for (int64_t j = 0; j < n; ++j)
+            acc += static_cast<double>(gr[j]) * gr[j] + cfg_.eps1;
+          s.vrow[static_cast<size_t>(i)] =
+              beta2t * s.vrow[static_cast<size_t>(i)] +
+              (1.f - beta2t) * static_cast<float>(acc / n);
+        }
+      },
+      /*grain=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(1, n)));
   std::vector<double> colacc(static_cast<size_t>(n), 0.0);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* gr = g.row(i);
-    for (int64_t j = 0; j < n; ++j)
-      colacc[static_cast<size_t>(j)] +=
-          static_cast<double>(gr[j]) * gr[j] + cfg_.eps1;
-  }
+  core::parallel_for(
+      n,
+      [&](int64_t c0, int64_t c1) {
+        for (int64_t i = 0; i < m; ++i) {
+          const float* gr = g.row(i);
+          for (int64_t j = c0; j < c1; ++j)
+            colacc[static_cast<size_t>(j)] +=
+                static_cast<double>(gr[j]) * gr[j] + cfg_.eps1;
+        }
+      },
+      /*grain=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(1, m)));
   for (int64_t j = 0; j < n; ++j)
     s.vcol[static_cast<size_t>(j)] =
         beta2t * s.vcol[static_cast<size_t>(j)] +
@@ -72,15 +85,21 @@ void Adafactor::update_matrix(nn::Parameter* p, State& s, float beta2t) {
       row_mean > 0 ? static_cast<float>(1.0 / row_mean) : 0.f;
 
   Matrix update(m, n);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* gr = g.row(i);
-    float* ur = update.row(i);
-    const float vr = s.vrow[static_cast<size_t>(i)];
-    for (int64_t j = 0; j < n; ++j) {
-      const float vhat = vr * s.vcol[static_cast<size_t>(j)] * inv_row_mean;
-      ur[j] = gr[j] / (std::sqrt(std::max(vhat, cfg_.eps1)) + 1e-12f);
-    }
-  }
+  core::parallel_for(
+      m,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* gr = g.row(i);
+          float* ur = update.row(i);
+          const float vr = s.vrow[static_cast<size_t>(i)];
+          for (int64_t j = 0; j < n; ++j) {
+            const float vhat =
+                vr * s.vcol[static_cast<size_t>(j)] * inv_row_mean;
+            ur[j] = gr[j] / (std::sqrt(std::max(vhat, cfg_.eps1)) + 1e-12f);
+          }
+        }
+      },
+      /*grain=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(1, n)));
   // RMS clipping: scale down if RMS(U) exceeds the threshold.
   const float u_rms = rms(update);
   if (u_rms > cfg_.clip_threshold)
@@ -88,14 +107,24 @@ void Adafactor::update_matrix(nn::Parameter* p, State& s, float beta2t) {
 
   if (cfg_.beta1 > 0.f) {
     if (s.m.size() == 0) s.m.reshape_discard(m, n);
-    for (int64_t i = 0; i < update.size(); ++i) {
-      s.m[i] = cfg_.beta1 * s.m[i] + (1.f - cfg_.beta1) * update[i];
-      update[i] = s.m[i];
-    }
+    core::parallel_for(
+        update.size(),
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            s.m[i] = cfg_.beta1 * s.m[i] + (1.f - cfg_.beta1) * update[i];
+            update[i] = s.m[i];
+          }
+        },
+        /*grain=*/1 << 13);
   }
 
-  for (int64_t i = 0; i < p->value.size(); ++i)
-    p->value[i] -= lr_ * (update[i] + cfg_.weight_decay * p->value[i]);
+  core::parallel_for(
+      p->value.size(),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+          p->value[i] -= lr_ * (update[i] + cfg_.weight_decay * p->value[i]);
+      },
+      /*grain=*/1 << 13);
 }
 
 void Adafactor::update_vector(nn::Parameter* p, State& s, float beta2t) {

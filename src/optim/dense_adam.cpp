@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/threadpool.h"
 #include "tensor/serialize.h"
 
 namespace apollo::optim {
@@ -16,16 +17,21 @@ void DenseAdamCore::update(const void* key, Matrix& value,
   const float b1 = hp_.beta1, b2 = hp_.beta2;
   const float bc1 = 1.f - std::pow(b1, static_cast<float>(t));
   const float bc2 = 1.f - std::pow(b2, static_cast<float>(t));
-  const int64_t n = grad.size();
-  for (int64_t i = 0; i < n; ++i) {
-    const float g = grad[i];
-    s.m[i] = b1 * s.m[i] + (1.f - b1) * g;
-    s.v[i] = b2 * s.v[i] + (1.f - b2) * g * g;
-    const float mhat = s.m[i] / bc1;
-    const float vhat = s.v[i] / bc2;
-    value[i] -= lr * (mhat / (std::sqrt(vhat) + hp_.eps) +
-                      hp_.weight_decay * value[i]);
-  }
+  // Element-disjoint update: safe to fan out over the deterministic pool.
+  core::parallel_for(
+      grad.size(),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float g = grad[i];
+          s.m[i] = b1 * s.m[i] + (1.f - b1) * g;
+          s.v[i] = b2 * s.v[i] + (1.f - b2) * g * g;
+          const float mhat = s.m[i] / bc1;
+          const float vhat = s.v[i] / bc2;
+          value[i] -= lr * (mhat / (std::sqrt(vhat) + hp_.eps) +
+                            hp_.weight_decay * value[i]);
+        }
+      },
+      /*grain=*/1 << 13);
 }
 
 bool DenseAdamCore::save(std::FILE* f,

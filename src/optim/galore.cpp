@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/threadpool.h"
 #include "linalg/svd.h"
 #include "tensor/ops.h"
 
@@ -85,12 +86,17 @@ void GaLore::update_matrix_param(nn::Parameter* p) {
   const float bc1 = 1.f - std::pow(b1, static_cast<float>(s.local_t));
   const float bc2 = 1.f - std::pow(b2, static_cast<float>(s.local_t));
   Matrix norm_update(rg.rows(), rg.cols());
-  for (int64_t i = 0; i < rg.size(); ++i) {
-    s.m[i] = b1 * s.m[i] + (1.f - b1) * rg[i];
-    s.v[i] = b2 * s.v[i] + (1.f - b2) * rg[i] * rg[i];
-    norm_update[i] = (s.m[i] / bc1) /
-                     (std::sqrt(s.v[i] / bc2) + cfg_.hyper.eps);
-  }
+  core::parallel_for(
+      rg.size(),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          s.m[i] = b1 * s.m[i] + (1.f - b1) * rg[i];
+          s.v[i] = b2 * s.v[i] + (1.f - b2) * rg[i] * rg[i];
+          norm_update[i] = (s.m[i] / bc1) /
+                           (std::sqrt(s.v[i] / bc2) + cfg_.hyper.eps);
+        }
+      },
+      /*grain=*/1 << 13);
   if (cfg_.quantize_states) {
     s.qm->store(s.m);
     s.qv->store(s.v);
@@ -128,8 +134,13 @@ void GaLore::update_matrix_param(nn::Parameter* p) {
 
   // --- apply ----------------------------------------------------------------
   const float wd = cfg_.hyper.weight_decay;
-  for (int64_t i = 0; i < p->value.size(); ++i)
-    p->value[i] -= lr_ * (update[i] + wd * p->value[i]);
+  core::parallel_for(
+      p->value.size(),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+          p->value[i] -= lr_ * (update[i] + wd * p->value[i]);
+      },
+      /*grain=*/1 << 13);
 }
 
 int64_t GaLore::state_bytes() const {

@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/threadpool.h"
+
 namespace apollo {
+
+namespace {
+
+// Minimum useful FLOPs per pool lane: below this, dispatch overhead beats
+// the parallel win and the kernel stays on the calling thread. Expressed as
+// a row grain so parallel_for can reason in row units.
+constexpr int64_t kMinFlopsPerLane = 1 << 15;
+
+int64_t row_grain(int64_t flops_per_row) {
+  return std::max<int64_t>(
+      1, kMinFlopsPerLane / std::max<int64_t>(1, flops_per_row));
+}
+
+// Element grain for memory-bound element-wise kernels.
+constexpr int64_t kElementGrain = 1 << 14;
+
+}  // namespace
 
 void matmul(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
   APOLLO_CHECK(a.cols() == b.rows());
@@ -15,16 +34,24 @@ void matmul(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
     APOLLO_CHECK(c.rows() == m && c.cols() == n);
   }
   // i-k-j ordering: the inner loop streams rows of B and C and vectorizes.
-  for (int64_t i = 0; i < m; ++i) {
-    float* __restrict crow = c.row(i);
-    const float* __restrict arow = a.row(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.f) continue;
-      const float* __restrict brow = b.row(p);
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // Rows of C are independent, so the pool partitions over i; each c[i][j]
+  // still accumulates over p in ascending order — bit-identical to the
+  // sequential kernel for any thread count.
+  core::parallel_for(
+      m,
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          float* __restrict crow = c.row(i);
+          const float* __restrict arow = a.row(i);
+          for (int64_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.f) continue;
+            const float* __restrict brow = b.row(p);
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      row_grain(2 * k * n));
 }
 
 void matmul_at(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
@@ -36,16 +63,25 @@ void matmul_at(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
   } else {
     APOLLO_CHECK(c.rows() == m && c.cols() == n);
   }
-  for (int64_t p = 0; p < k; ++p) {
-    const float* __restrict arow = a.row(p);
-    const float* __restrict brow = b.row(p);
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.f) continue;
-      float* __restrict crow = c.row(i);
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // C rows are indexed by A's columns. Each lane runs the same p-outer
+  // streaming loop restricted to its own band of C rows: writes stay
+  // disjoint and every c[i][j] accumulates over p ascending, so the result
+  // matches the sequential kernel exactly.
+  core::parallel_for(
+      m,
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t p = 0; p < k; ++p) {
+          const float* __restrict arow = a.row(p);
+          const float* __restrict brow = b.row(p);
+          for (int64_t i = i0; i < i1; ++i) {
+            const float av = arow[i];
+            if (av == 0.f) continue;
+            float* __restrict crow = c.row(i);
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      row_grain(2 * k * n));
 }
 
 void matmul_bt(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
@@ -65,16 +101,21 @@ void matmul_bt(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
   } else {
     APOLLO_CHECK(c.rows() == m && c.cols() == n);
   }
-  for (int64_t i = 0; i < m; ++i) {
-    const float* __restrict arow = a.row(i);
-    float* __restrict crow = c.row(i);
-    for (int64_t j = 0; j < n; ++j) {
-      const float* __restrict brow = b.row(j);
-      float acc = 0.f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
-  }
+  core::parallel_for(
+      m,
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* __restrict arow = a.row(i);
+          float* __restrict crow = c.row(i);
+          for (int64_t j = 0; j < n; ++j) {
+            const float* __restrict brow = b.row(j);
+            float acc = 0.f;
+            for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+            crow[j] += acc;
+          }
+        }
+      },
+      row_grain(2 * k * n));
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -97,14 +138,22 @@ void axpy(Matrix& y, float alpha, const Matrix& x) {
   APOLLO_CHECK(y.same_shape(x));
   float* __restrict yd = y.data();
   const float* __restrict xd = x.data();
-  const int64_t n = y.size();
-  for (int64_t i = 0; i < n; ++i) yd[i] += alpha * xd[i];
+  core::parallel_for(
+      y.size(),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) yd[i] += alpha * xd[i];
+      },
+      kElementGrain);
 }
 
 void scale_inplace(Matrix& y, float alpha) {
   float* __restrict yd = y.data();
-  const int64_t n = y.size();
-  for (int64_t i = 0; i < n; ++i) yd[i] *= alpha;
+  core::parallel_for(
+      y.size(),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) yd[i] *= alpha;
+      },
+      kElementGrain);
 }
 
 void add_inplace(Matrix& y, const Matrix& x) { axpy(y, 1.f, x); }
@@ -115,8 +164,12 @@ void hadamard_inplace(Matrix& y, const Matrix& x) {
   APOLLO_CHECK(y.same_shape(x));
   float* __restrict yd = y.data();
   const float* __restrict xd = x.data();
-  const int64_t n = y.size();
-  for (int64_t i = 0; i < n; ++i) yd[i] *= xd[i];
+  core::parallel_for(
+      y.size(),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) yd[i] *= xd[i];
+      },
+      kElementGrain);
 }
 
 Matrix sub(const Matrix& a, const Matrix& b) {
@@ -125,6 +178,10 @@ Matrix sub(const Matrix& a, const Matrix& b) {
   return out;
 }
 
+// Whole-tensor reductions stay single-threaded on purpose: splitting the
+// accumulation across lanes would change the summation order (and thus the
+// float result) with the thread count, breaking the pool's bit-identity
+// guarantee. They are O(n) against the O(mnk) kernels above.
 double frobenius_norm(const Matrix& m) {
   double acc = 0;
   const float* d = m.data();
@@ -152,12 +209,21 @@ float abs_max(const Matrix& m) {
 }
 
 std::vector<float> col_norms(const Matrix& m) {
-  std::vector<double> acc(static_cast<size_t>(m.cols()), 0.0);
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    const float* row = m.row(r);
-    for (int64_t c = 0; c < m.cols(); ++c)
-      acc[static_cast<size_t>(c)] += static_cast<double>(row[c]) * row[c];
-  }
+  const int64_t rows = m.rows(), cols = m.cols();
+  std::vector<double> acc(static_cast<size_t>(cols), 0.0);
+  // Partition over columns: each per-column reduction runs ascending over
+  // rows inside one lane, matching the sequential accumulation order.
+  core::parallel_for(
+      cols,
+      [&](int64_t c0, int64_t c1) {
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* row = m.row(r);
+          for (int64_t c = c0; c < c1; ++c)
+            acc[static_cast<size_t>(c)] +=
+                static_cast<double>(row[c]) * row[c];
+        }
+      },
+      row_grain(2 * rows));
   std::vector<float> out(acc.size());
   for (size_t i = 0; i < acc.size(); ++i)
     out[i] = static_cast<float>(std::sqrt(acc[i]));
@@ -165,32 +231,51 @@ std::vector<float> col_norms(const Matrix& m) {
 }
 
 std::vector<float> row_norms(const Matrix& m) {
-  std::vector<float> out(static_cast<size_t>(m.rows()));
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    const float* row = m.row(r);
-    double acc = 0;
-    for (int64_t c = 0; c < m.cols(); ++c)
-      acc += static_cast<double>(row[c]) * row[c];
-    out[static_cast<size_t>(r)] = static_cast<float>(std::sqrt(acc));
-  }
+  const int64_t rows = m.rows(), cols = m.cols();
+  std::vector<float> out(static_cast<size_t>(rows));
+  core::parallel_for(
+      rows,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* row = m.row(r);
+          double acc = 0;
+          for (int64_t c = 0; c < cols; ++c)
+            acc += static_cast<double>(row[c]) * row[c];
+          out[static_cast<size_t>(r)] = static_cast<float>(std::sqrt(acc));
+        }
+      },
+      row_grain(2 * cols));
   return out;
 }
 
 void scale_cols_inplace(Matrix& m, const std::vector<float>& s) {
   APOLLO_CHECK(static_cast<int64_t>(s.size()) == m.cols());
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    float* row = m.row(r);
-    for (int64_t c = 0; c < m.cols(); ++c) row[c] *= s[static_cast<size_t>(c)];
-  }
+  const int64_t cols = m.cols();
+  core::parallel_for(
+      m.rows(),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          float* row = m.row(r);
+          for (int64_t c = 0; c < cols; ++c)
+            row[c] *= s[static_cast<size_t>(c)];
+        }
+      },
+      row_grain(cols));
 }
 
 void scale_rows_inplace(Matrix& m, const std::vector<float>& s) {
   APOLLO_CHECK(static_cast<int64_t>(s.size()) == m.rows());
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    float* row = m.row(r);
-    const float sv = s[static_cast<size_t>(r)];
-    for (int64_t c = 0; c < m.cols(); ++c) row[c] *= sv;
-  }
+  const int64_t cols = m.cols();
+  core::parallel_for(
+      m.rows(),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          float* row = m.row(r);
+          const float sv = s[static_cast<size_t>(r)];
+          for (int64_t c = 0; c < cols; ++c) row[c] *= sv;
+        }
+      },
+      row_grain(cols));
 }
 
 float max_abs_diff(const Matrix& a, const Matrix& b) {

@@ -1,6 +1,9 @@
-// Dense kernels over Matrix. All kernels are single-threaded and
-// deterministic: the same inputs always produce bit-identical outputs,
-// which the reproducibility tests rely on.
+// Dense kernels over Matrix. The O(mnk) kernels and row/column-wise
+// primitives fan out over the deterministic fixed-partition pool in
+// core/threadpool.h; whole-tensor reductions stay sequential. Every kernel
+// produces bit-identical outputs for any APOLLO_THREADS value — the same
+// result as the historical single-threaded code — which the reproducibility
+// tests rely on.
 #pragma once
 
 #include <vector>

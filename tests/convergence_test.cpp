@@ -27,6 +27,8 @@ class OptimizerContractTest : public ::testing::TestWithParam<std::string> {
 TEST_P(OptimizerContractTest, MinimizesConvexQuadratic) {
   // loss = ½‖W − T‖², ∇ = W − T. Every reasonable optimizer should close
   // most of the distance in 150 steps at its default LR.
+  SCOPED_TRACE(testing::Message()
+               << GetParam() << " @ lr=" << core::default_lr(GetParam()));
   nn::Parameter p("w", 8, 32);
   Matrix target(8, 32);
   Rng rng(1);
@@ -54,6 +56,7 @@ TEST_P(OptimizerContractTest, MinimizesConvexQuadratic) {
 }
 
 TEST_P(OptimizerContractTest, LrZeroFreezesWeights) {
+  SCOPED_TRACE(GetParam());
   nn::Parameter p("w", 8, 32);
   Rng rng(2);
   p.value.fill_gaussian(rng, 0.f, 1.f);
@@ -65,18 +68,21 @@ TEST_P(OptimizerContractTest, LrZeroFreezesWeights) {
   // The factorized adapter recomposes W = U·V from the truncated SVD even
   // at lr 0, which legitimately perturbs the weight once; all others must
   // hold exactly.
-  if (GetParam() != "lowrank" && GetParam() != "dora")
-    EXPECT_LT(max_abs_diff(before, p.value), 1e-7f) << GetParam();
+  if (GetParam() != "lowrank" && GetParam() != "dora") {
+    EXPECT_LT(max_abs_diff(before, p.value), 1e-7f);
+  }
 }
 
 TEST_P(OptimizerContractTest, NoStateBeforeFirstStep) {
+  SCOPED_TRACE(GetParam());
   auto opt = make();
-  EXPECT_EQ(opt->state_bytes(), 0) << GetParam();
+  EXPECT_EQ(opt->state_bytes(), 0);
 }
 
 TEST_P(OptimizerContractTest, SurvivesAdversarialGradientSchedule) {
   // Alternating huge/tiny/zero gradients with sign flips — the schedule
   // that breaks ill-guarded EMA divisions.
+  SCOPED_TRACE(GetParam());
   nn::Parameter p("w", 8, 32);
   p.value.fill(1.f);
   auto opt = make();

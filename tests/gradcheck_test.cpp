@@ -1,0 +1,241 @@
+// Finite-difference gradient checker (caffe2 GradientChecker style): every
+// autograd op used by the nano LLaMA model is validated against central
+// differences of the scalar probe loss ⟨f(x), W⟩ at two step sizes — and
+// under both single- and multi-threaded execution, since the backward
+// closures run on top of the parallel tensor kernels.
+//
+// Step-size economics in fp32: at h = 1e-3 truncation error (O(h²·f'''))
+// dominates; at h = 1e-5 the fp32 rounding noise of the forward pass
+// (≈ eps·|f| / 2h with eps ≈ 1.2e-7) dominates, so the threshold must be
+// looser there. Both regimes agreeing with the analytic gradient rules out
+// a sign/transpose bug masked by one particular step size.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/tape.h"
+#include "core/threadpool.h"
+#include "tensor/ops.h"
+
+namespace apollo {
+namespace {
+
+Matrix random_matrix(int64_t r, int64_t c, uint64_t seed, float scale = 1.f) {
+  Matrix m(r, c);
+  Rng rng(seed);
+  m.fill_gaussian(rng, 0.f, scale);
+  return m;
+}
+
+using GraphFn = std::function<ag::Var(ag::Tape&, const std::vector<ag::Var>&)>;
+
+// One (stepsize, threshold) probe configuration, caffe2-checker style:
+// `threshold` is relative to max(1, |fd|), so unit-scale gradients are
+// compared absolutely and large ones relatively.
+struct CheckConfig {
+  float stepsize;
+  float threshold;
+};
+
+// The sweep every op runs: coarse step (truncation-limited) and fine step
+// (fp32-noise-limited), each under sequential and 4-lane execution.
+const CheckConfig kConfigs[] = {{1e-3f, 2e-2f}, {1e-5f, 2e-1f}};
+const int kThreadCounts[] = {1, 4};
+
+class GradientChecker {
+ public:
+  GradientChecker(std::vector<Matrix> inputs, GraphFn fn, uint64_t probe_seed)
+      : inputs_(std::move(inputs)), fn_(std::move(fn)),
+        probe_seed_(probe_seed) {}
+
+  void run_all() {
+    for (int threads : kThreadCounts) {
+      core::set_thread_count(threads);
+      for (const CheckConfig& cfg : kConfigs) {
+        SCOPED_TRACE(testing::Message() << "threads=" << threads
+                                        << " h=" << cfg.stepsize);
+        check(cfg);
+      }
+    }
+    core::set_thread_count(0);
+  }
+
+ private:
+  void check(const CheckConfig& cfg) {
+    std::vector<Matrix> grads;
+    for (const auto& in : inputs_) grads.emplace_back(in.rows(), in.cols());
+
+    Matrix probe;
+    {
+      ag::Tape tape;
+      std::vector<ag::Var> leaves;
+      for (size_t i = 0; i < inputs_.size(); ++i)
+        leaves.push_back(tape.leaf(&inputs_[i], &grads[i]));
+      ag::Var y = fn_(tape, leaves);
+      probe = random_matrix(tape.value(y).rows(), tape.value(y).cols(),
+                            probe_seed_);
+      tape.backward(tape.dot(y, probe));
+    }
+
+    auto eval = [&]() {
+      ag::Tape tape;
+      std::vector<ag::Var> leaves;
+      for (auto& in : inputs_) leaves.push_back(tape.leaf(&in, nullptr));
+      ag::Var y = fn_(tape, leaves);
+      double acc = 0;
+      const Matrix& v = tape.value(y);
+      for (int64_t i = 0; i < v.size(); ++i)
+        acc += static_cast<double>(v[i]) * probe[i];
+      return acc;
+    };
+
+    const float h = cfg.stepsize;
+    for (size_t k = 0; k < inputs_.size(); ++k) {
+      for (int64_t i = 0; i < inputs_[k].size(); ++i) {
+        const float orig = inputs_[k][i];
+        inputs_[k][i] = orig + h;
+        const double up = eval();
+        inputs_[k][i] = orig - h;
+        const double down = eval();
+        inputs_[k][i] = orig;
+        const double fd = (up - down) / (2.0 * h);
+        EXPECT_NEAR(grads[k][i], fd,
+                    cfg.threshold * std::max(1.0, std::fabs(fd)))
+            << "input " << k << " element " << i;
+      }
+    }
+  }
+
+  std::vector<Matrix> inputs_;
+  GraphFn fn_;
+  uint64_t probe_seed_;
+};
+
+TEST(GradCheck, Matmul) {
+  GradientChecker({random_matrix(4, 6, 1), random_matrix(6, 5, 2)},
+                  [](ag::Tape& t, const std::vector<ag::Var>& v) {
+                    return t.matmul(v[0], v[1]);
+                  },
+                  100)
+      .run_all();
+}
+
+TEST(GradCheck, MatmulBt) {
+  GradientChecker({random_matrix(4, 6, 3), random_matrix(5, 6, 4)},
+                  [](ag::Tape& t, const std::vector<ag::Var>& v) {
+                    return t.matmul_bt(v[0], v[1]);
+                  },
+                  101)
+      .run_all();
+}
+
+TEST(GradCheck, Add) {
+  GradientChecker({random_matrix(5, 5, 5), random_matrix(5, 5, 6)},
+                  [](ag::Tape& t, const std::vector<ag::Var>& v) {
+                    return t.add(v[0], v[1]);
+                  },
+                  102)
+      .run_all();
+}
+
+TEST(GradCheck, Mul) {
+  GradientChecker({random_matrix(5, 5, 7), random_matrix(5, 5, 8)},
+                  [](ag::Tape& t, const std::vector<ag::Var>& v) {
+                    return t.mul(v[0], v[1]);
+                  },
+                  103)
+      .run_all();
+}
+
+TEST(GradCheck, Scale) {
+  GradientChecker({random_matrix(5, 5, 9)},
+                  [](ag::Tape& t, const std::vector<ag::Var>& v) {
+                    return t.scale(v[0], 0.37f);
+                  },
+                  104)
+      .run_all();
+}
+
+TEST(GradCheck, Silu) {
+  GradientChecker({random_matrix(5, 6, 10)},
+                  [](ag::Tape& t, const std::vector<ag::Var>& v) {
+                    return t.silu(v[0]);
+                  },
+                  105)
+      .run_all();
+}
+
+TEST(GradCheck, RmsNorm) {
+  GradientChecker(
+      {random_matrix(4, 8, 11), random_matrix(1, 8, 12, 0.5f)},
+      [](ag::Tape& t, const std::vector<ag::Var>& v) {
+        return t.rmsnorm(v[0], v[1]);
+      },
+      106)
+      .run_all();
+}
+
+TEST(GradCheck, Embedding) {
+  GradientChecker({random_matrix(10, 6, 13)},
+                  [](ag::Tape& t, const std::vector<ag::Var>& v) {
+                    return t.embedding(v[0], {0, 3, 9, 3, 7});
+                  },
+                  107)
+      .run_all();
+}
+
+TEST(GradCheck, Rope) {
+  // 2 sequences of 4 positions, 2 heads of dim 4 (inputs 8×8).
+  GradientChecker({random_matrix(8, 8, 14)},
+                  [](ag::Tape& t, const std::vector<ag::Var>& v) {
+                    return t.rope(v[0], /*n_heads=*/2, /*seq_len=*/4);
+                  },
+                  108)
+      .run_all();
+}
+
+TEST(GradCheck, CausalAttention) {
+  GradientChecker(
+      {random_matrix(8, 8, 15, 0.5f), random_matrix(8, 8, 16, 0.5f),
+       random_matrix(8, 8, 17, 0.5f)},
+      [](ag::Tape& t, const std::vector<ag::Var>& v) {
+        return t.causal_attention(v[0], v[1], v[2], /*n_heads=*/2,
+                                  /*seq_len=*/4);
+      },
+      109)
+      .run_all();
+}
+
+TEST(GradCheck, CrossEntropy) {
+  // Includes an ignored (-1) target to exercise the masking path.
+  GradientChecker({random_matrix(5, 7, 18)},
+                  [](ag::Tape& t, const std::vector<ag::Var>& v) {
+                    return t.cross_entropy(v[0], {1, 4, -1, 0, 6});
+                  },
+                  110)
+      .run_all();
+}
+
+// The composition the nano model actually runs per layer: rmsnorm → linear
+// (matmul_bt) → silu ⊙ linear → residual add. A chained check catches
+// gradient-accumulation bugs single-op checks miss.
+TEST(GradCheck, MlpBlockComposition) {
+  GradientChecker(
+      {random_matrix(4, 8, 19, 0.5f), random_matrix(1, 8, 20, 0.3f),
+       random_matrix(12, 8, 21, 0.4f), random_matrix(12, 8, 22, 0.4f),
+       random_matrix(8, 12, 23, 0.4f)},
+      [](ag::Tape& t, const std::vector<ag::Var>& v) {
+        ag::Var x = t.rmsnorm(v[0], v[1]);
+        ag::Var gate = t.silu(t.matmul_bt(x, v[2]));
+        ag::Var up = t.matmul_bt(x, v[3]);
+        ag::Var out = t.matmul_bt(t.mul(gate, up), v[4]);
+        return t.add(v[0], out);
+      },
+      111)
+      .run_all();
+}
+
+}  // namespace
+}  // namespace apollo

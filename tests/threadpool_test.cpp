@@ -1,0 +1,236 @@
+// Determinism contract of core/threadpool.h: every kernel routed through
+// parallel_for must produce bit-identical results for ANY thread count —
+// matmul family, projections, and a full APOLLO training step — plus the
+// partition edge cases (empty ranges, fewer rows than threads, nesting).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/apollo.h"
+#include "core/threadpool.h"
+#include "data/corpus.h"
+#include "linalg/projection.h"
+#include "nn/llama.h"
+#include "tensor/ops.h"
+#include "train/trainer.h"
+
+namespace apollo {
+namespace {
+
+// Restores the default thread count even when an assertion bails out early.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int n) { core::set_thread_count(n); }
+  ~ThreadCountGuard() { core::set_thread_count(0); }
+};
+
+Matrix random_matrix(int64_t r, int64_t c, uint64_t seed) {
+  Matrix m(r, c);
+  Rng rng(seed);
+  m.fill_gaussian(rng, 0.f, 1.f);
+  return m;
+}
+
+// The thread counts every determinism assertion sweeps: sequential,
+// small-parallel, and whatever this machine's hardware default resolves to.
+std::vector<int> sweep_counts() {
+  core::set_thread_count(0);
+  return {1, 4, core::thread_count()};
+}
+
+TEST(ThreadPool, ThreadCountResolvesToAtLeastOne) {
+  core::set_thread_count(0);
+  EXPECT_GE(core::thread_count(), 1);
+}
+
+TEST(ThreadPool, SetThreadCountOverridesAndRestores) {
+  ThreadCountGuard guard(3);
+  EXPECT_EQ(core::thread_count(), 3);
+  core::set_thread_count(7);
+  EXPECT_EQ(core::thread_count(), 7);
+  core::set_thread_count(0);
+  EXPECT_GE(core::thread_count(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadCountGuard guard(threads);
+    const int64_t n = 1001;  // deliberately not divisible by the lane count
+    std::vector<int> hits(static_cast<size_t>(n), 0);
+    core::parallel_for(n, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+    });
+    for (int64_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[static_cast<size_t>(i)], 1)
+          << "index " << i << " at " << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, ZeroAndNegativeRangesAreNoOps) {
+  ThreadCountGuard guard(4);
+  std::atomic<int> calls{0};
+  core::parallel_for(0, [&](int64_t, int64_t) { ++calls; });
+  core::parallel_for(-5, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, FewerIndicesThanThreads) {
+  ThreadCountGuard guard(8);
+  const int64_t n = 3;  // rows < threads: lanes must collapse, not starve
+  std::vector<int> hits(static_cast<size_t>(n), 0);
+  core::parallel_for(n, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThreadPool, GrainKeepsSmallRangesInline) {
+  ThreadCountGuard guard(8);
+  std::atomic<int> chunks{0};
+  core::parallel_for(
+      100, [&](int64_t, int64_t) { ++chunks; }, /*grain=*/1000);
+  EXPECT_EQ(chunks.load(), 1);  // below 1 grain per lane ⇒ single inline call
+}
+
+TEST(ThreadPool, NestedParallelForDegradesToSequential) {
+  ThreadCountGuard guard(4);
+  const int64_t n = 64;
+  std::vector<int> hits(static_cast<size_t>(n * n), 0);
+  core::parallel_for(n, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      core::parallel_for(n, [&](int64_t b2, int64_t e2) {
+        for (int64_t j = b2; j < e2; ++j)
+          ++hits[static_cast<size_t>(i * n + j)];
+      });
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, MatmulBitIdenticalAcrossThreadCounts) {
+  const Matrix a = random_matrix(96, 80, 1);
+  const Matrix b = random_matrix(80, 72, 2);
+  const Matrix at_b = random_matrix(96, 72, 3);  // matmul_at: aᵀ·at_b
+  const Matrix bt = random_matrix(72, 80, 4);    // matmul_bt: a·btᵀ
+  core::set_thread_count(1);
+  const Matrix ref = matmul(a, b);
+  const Matrix ref_at = matmul_at(a, at_b);
+  const Matrix ref_bt = matmul_bt(a, bt);
+  for (int threads : sweep_counts()) {
+    ThreadCountGuard guard(threads);
+    EXPECT_TRUE(matmul(a, b) == ref) << threads << " threads";
+    EXPECT_TRUE(matmul_at(a, at_b) == ref_at) << threads << " threads";
+    EXPECT_TRUE(matmul_bt(a, bt) == ref_bt) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, MatmulEdgeShapesBitIdentical) {
+  // Degenerate shapes: zero rows, one row (rows < threads), tall-thin.
+  const Matrix zero_rows(0, 8);
+  const Matrix one_row = random_matrix(1, 8, 4);
+  const Matrix tall = random_matrix(64, 2, 5);
+  const Matrix b = random_matrix(8, 16, 6);
+  const Matrix b2 = random_matrix(2, 16, 7);
+  core::set_thread_count(1);
+  const Matrix ref0 = matmul(zero_rows, b);
+  const Matrix ref1 = matmul(one_row, b);
+  const Matrix ref2 = matmul(tall, b2);
+  for (int threads : sweep_counts()) {
+    ThreadCountGuard guard(threads);
+    const Matrix c0 = matmul(zero_rows, b);
+    EXPECT_EQ(c0.rows(), 0);
+    EXPECT_EQ(c0.cols(), 16);
+    EXPECT_TRUE(c0 == ref0);
+    EXPECT_TRUE(matmul(one_row, b) == ref1);
+    EXPECT_TRUE(matmul(tall, b2) == ref2);
+  }
+}
+
+TEST(ThreadPool, ProjectionBitIdenticalAcrossThreadCounts) {
+  const Matrix g = random_matrix(48, 128, 8);
+  const Matrix p = gaussian_projection(12, 48, 99);
+  core::set_thread_count(1);
+  const Matrix ref_rg = project(g, p, ProjectionSide::kLeft);
+  const Matrix ref_back = project_back(ref_rg, p, ProjectionSide::kLeft);
+  const std::vector<float> ref_cn = col_norms(g);
+  const std::vector<float> ref_rn = row_norms(g);
+  for (int threads : sweep_counts()) {
+    ThreadCountGuard guard(threads);
+    // The projector itself is regenerated from the seed — must never vary.
+    EXPECT_TRUE(gaussian_projection(12, 48, 99) == p);
+    const Matrix rg = project(g, p, ProjectionSide::kLeft);
+    EXPECT_TRUE(rg == ref_rg) << threads << " threads";
+    EXPECT_TRUE(project_back(rg, p, ProjectionSide::kLeft) == ref_back);
+    EXPECT_EQ(col_norms(g), ref_cn);
+    EXPECT_EQ(row_norms(g), ref_rn);
+  }
+}
+
+// One full APOLLO optimizer step on a real gradient shape: moments,
+// channel-wise scaling factors, limiter and weight update all bit-identical.
+TEST(ThreadPool, ApolloStepBitIdenticalAcrossThreadCounts) {
+  auto run_step = [](int threads) {
+    ThreadCountGuard guard(threads);
+    nn::Parameter p("w", 48, 128);
+    Rng rng(11);
+    p.value.fill_gaussian(rng, 0.f, 0.5f);
+    core::ApolloConfig cfg;
+    cfg.rank = 8;
+    cfg.seed = 21;
+    core::Apollo opt(cfg);
+    opt.set_lr(1e-2f);
+    for (int s = 0; s < 5; ++s) {
+      p.grad.fill_gaussian(rng, 0.f, 0.1f);
+      opt.step({&p});
+    }
+    return p.value;
+  };
+  const Matrix ref = run_step(1);
+  for (int threads : sweep_counts())
+    EXPECT_TRUE(run_step(threads) == ref) << threads << " threads";
+}
+
+// End-to-end: a short APOLLO training run of the nano LLaMA — forward,
+// backward, projection, scaling and update — must produce bit-identical
+// loss curves and final weights for every thread count.
+TEST(ThreadPool, ApolloTrainingRunBitIdenticalAcrossThreadCounts) {
+  auto run = [](int threads) {
+    ThreadCountGuard guard(threads);
+    nn::LlamaConfig mcfg;
+    mcfg.vocab = 64;
+    mcfg.hidden = 16;
+    mcfg.intermediate = 40;
+    mcfg.n_heads = 2;
+    mcfg.n_layers = 1;
+    mcfg.seq_len = 8;
+    nn::LlamaModel model(mcfg, 3);
+    data::CorpusConfig ccfg;
+    ccfg.vocab = 64;
+    data::SyntheticCorpus corpus(ccfg);
+    core::ApolloConfig acfg;
+    acfg.rank = 4;
+    acfg.update_freq = 2;
+    core::Apollo opt(acfg);
+    train::TrainConfig tc;
+    tc.steps = 4;
+    tc.batch = 2;
+    tc.lr = 1e-2f;
+    tc.record_step_losses = true;
+    train::Trainer trainer(model, opt, corpus, tc);
+    auto result = trainer.run();
+    return std::make_pair(result.step_losses, model.snapshot());
+  };
+  const auto [ref_losses, ref_weights] = run(1);
+  ASSERT_EQ(ref_losses.size(), 4u);
+  for (int threads : sweep_counts()) {
+    SCOPED_TRACE(testing::Message() << threads << " threads");
+    const auto [losses, weights] = run(threads);
+    EXPECT_EQ(losses, ref_losses);  // float == float: bit-identity
+    ASSERT_EQ(weights.size(), ref_weights.size());
+    for (size_t i = 0; i < weights.size(); ++i)
+      EXPECT_TRUE(weights[i] == ref_weights[i]) << "weight " << i;
+  }
+}
+
+}  // namespace
+}  // namespace apollo
