@@ -75,6 +75,7 @@ Var Tape::rope(Var xv, int n_heads, int seq_len, float base) {
   auto tab = std::make_shared<RopeTable>(
       make_rope_table(seq_len, head_dim, base));
   Node n;
+  n.op = "rope";
   n.value = x;
   apply_rope(n.value, *tab, n_heads, seq_len, +1.f);
   n.requires_grad = requires_grad(xv);
@@ -102,6 +103,7 @@ Var Tape::causal_attention(Var qv, Var kv, Var vv, int n_heads, int seq_len) {
   const float scale = 1.f / std::sqrt(static_cast<float>(head_dim));
 
   Node n;
+  n.op = "causal_attention";
   n.value = Matrix(T, d);
   // probs[b·n_heads + h] is the seq_len×seq_len lower-triangular softmax.
   auto probs = std::make_shared<std::vector<Matrix>>();

@@ -9,6 +9,7 @@ namespace apollo::ag {
 Var Tape::silu(Var a) {
   const Matrix& x = value(a);
   Node n;
+  n.op = "silu";
   n.value = Matrix(x.rows(), x.cols());
   // Save σ(x) for backward: d/dx [x·σ(x)] = σ(x)·(1 + x·(1 − σ(x))).
   auto sig = std::make_shared<Matrix>(x.rows(), x.cols());
@@ -41,6 +42,7 @@ Var Tape::rmsnorm(Var xv, Var wv, float eps) {
   const int64_t rows = x.rows(), n = x.cols();
 
   Node nd;
+  nd.op = "rmsnorm";
   nd.value = Matrix(rows, n);
   auto inv_rms = std::make_shared<std::vector<float>>(
       static_cast<size_t>(rows));
@@ -97,6 +99,7 @@ Var Tape::embedding(Var table, std::vector<int32_t> ids) {
   const Matrix& tab = value(table);
   const int64_t T = static_cast<int64_t>(ids.size()), d = tab.cols();
   Node n;
+  n.op = "embedding";
   n.value = Matrix(T, d);
   for (int64_t t = 0; t < T; ++t) {
     const int32_t id = ids[static_cast<size_t>(t)];
@@ -129,6 +132,7 @@ Var Tape::cross_entropy(Var logits, std::vector<int32_t> targets) {
   const int64_t T = z.rows(), V = z.cols();
 
   Node n;
+  n.op = "cross_entropy";
   n.value = Matrix(1, 1);
   // Save softmax probabilities for backward.
   auto probs = std::make_shared<Matrix>(T, V);

@@ -2,6 +2,7 @@
 // in ops_nn.cpp and ops_attention.cpp.
 #include "autograd/tape.h"
 
+#include "tensor/finite.h"
 #include "tensor/ops.h"
 
 namespace apollo::ag {
@@ -27,6 +28,7 @@ Var Tape::leaf(const Matrix* value, Matrix* grad) {
 
 Var Tape::constant(Matrix value) {
   Node n;
+  n.op = "constant";
   n.value = std::move(value);
   n.requires_grad = false;
   return push(std::move(n));
@@ -60,18 +62,24 @@ int64_t Tape::activation_bytes() const {
 
 void Tape::backward(Var loss, float seed) {
   APOLLO_CHECK_MSG(value(loss).size() == 1, "loss must be a scalar");
+  const bool finite_mode = finite_checks_enabled();
   grad(loss).fill(seed);
   for (int32_t id = loss.id; id >= 0; --id) {
     Node& n = nodes_[static_cast<size_t>(id)];
-    if (!n.requires_grad || !n.backward) continue;
+    if (!n.requires_grad) continue;
     // Skip nodes whose gradient was never touched (dead branches).
     if (n.ext_grad == nullptr && !n.grad_ready) continue;
-    n.backward(*this);
+    // Every consumer of node `id` has already run, so its gradient is fully
+    // accumulated here — the per-op checkpoint of the numeric-safety mode.
+    if (finite_mode)
+      check_finite_or_die(grad(Var{id}), n.op, "autograd backward");
+    if (n.backward) n.backward(*this);
   }
 }
 
 Var Tape::matmul(Var a, Var b) {
   Node n;
+  n.op = "matmul";
   n.value = apollo::matmul(value(a), value(b));
   n.requires_grad = requires_grad(a) || requires_grad(b);
   Var out{static_cast<int32_t>(nodes_.size())};
@@ -87,6 +95,7 @@ Var Tape::matmul(Var a, Var b) {
 
 Var Tape::matmul_bt(Var a, Var b) {
   Node n;
+  n.op = "matmul_bt";
   n.value = apollo::matmul_bt(value(a), value(b));
   n.requires_grad = requires_grad(a) || requires_grad(b);
   Var out{static_cast<int32_t>(nodes_.size())};
@@ -103,6 +112,7 @@ Var Tape::matmul_bt(Var a, Var b) {
 Var Tape::add(Var a, Var b) {
   APOLLO_CHECK(value(a).same_shape(value(b)));
   Node n;
+  n.op = "add";
   n.value = value(a);
   add_inplace(n.value, value(b));
   n.requires_grad = requires_grad(a) || requires_grad(b);
@@ -120,6 +130,7 @@ Var Tape::add(Var a, Var b) {
 Var Tape::mul(Var a, Var b) {
   APOLLO_CHECK(value(a).same_shape(value(b)));
   Node n;
+  n.op = "mul";
   n.value = value(a);
   hadamard_inplace(n.value, value(b));
   n.requires_grad = requires_grad(a) || requires_grad(b);
@@ -144,6 +155,7 @@ Var Tape::mul(Var a, Var b) {
 
 Var Tape::scale(Var a, float s) {
   Node n;
+  n.op = "scale";
   n.value = value(a);
   scale_inplace(n.value, s);
   n.requires_grad = requires_grad(a);
@@ -158,6 +170,7 @@ Var Tape::dot(Var a, Matrix weights) {
   const Matrix& x = value(a);
   APOLLO_CHECK(x.same_shape(weights));
   Node n;
+  n.op = "dot";
   n.value = Matrix(1, 1);
   double acc = 0;
   for (int64_t i = 0; i < x.size(); ++i)

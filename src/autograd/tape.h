@@ -94,6 +94,7 @@ class Tape {
     Matrix grad;                    // interior gradient (lazy)
     bool grad_ready = false;        // interior grad allocated+zeroed?
     bool requires_grad = false;
+    const char* op = "leaf";        // op name, for diagnostics
     int64_t extra_bytes = 0;        // saved tensors beyond `value`
     std::function<void(Tape&)> backward;
   };

@@ -4,6 +4,7 @@
 
 #include "core/threadpool.h"
 #include "linalg/svd.h"
+#include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
 namespace apollo::core {
@@ -23,6 +24,7 @@ Apollo::Apollo(const ApolloConfig& cfg, std::string display_name)
 void Apollo::step(const nn::ParamList& params) {
   ++t_;
   for (nn::Parameter* p : params) {
+    APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
     // Rank-1 auxiliary space is meaningful for any matrix, so only 1-D
     // parameters take the dense fallback (plus degenerate tiny matrices for
     // ranks > smallest dim).
@@ -33,6 +35,7 @@ void Apollo::step(const nn::ParamList& params) {
     }
     update_matrix_param(p);
   }
+  optim::check_step_finite(params, display_name_);
 }
 
 void Apollo::update_matrix_param(nn::Parameter* p) {
@@ -140,6 +143,9 @@ int64_t Apollo::state_bytes() const {
   return b;
 }
 
+// Pure serialization: `params` only fixes key order, shapes are validated
+// by read_matrix/write_matrix and the cross-moment check in load_state.
+// lint:allow(check-shape-preconditions)
 bool Apollo::save_state(std::FILE* f, const nn::ParamList& params) const {
   const Rng::State rs = seeder_.state();
   if (!write_pod(f, t_) || !write_pod(f, rs)) return false;
@@ -180,6 +186,9 @@ bool Apollo::load_state(std::FILE* f, const nn::ParamList& params) {
         !read_matrix(f, s.v))
       return false;
     s.side = side == 0 ? ProjectionSide::kLeft : ProjectionSide::kRight;
+    // The auxiliary moments must agree with each other — a corrupt or
+    // truncated checkpoint fails here rather than thousands of steps later.
+    APOLLO_CHECK_SAME_SHAPE(s.m, s.v);
     s.limiter = optim::NormGrowthLimiter(cfg_.nl_gamma);
     s.limiter.set_tracked_norm(nl);
   }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
 namespace apollo::core {
@@ -19,6 +20,7 @@ void StructuredAdamW::step(const nn::ParamList& params) {
   ++t_;
   const float b1 = cfg_.hyper.beta1, b2 = cfg_.hyper.beta2;
   for (nn::Parameter* p : params) {
+    APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
     State& s = states_[p];
     const Matrix& g = p->grad;
     if (s.m.size() == 0) {
@@ -74,6 +76,7 @@ void StructuredAdamW::step(const nn::ParamList& params) {
     for (int64_t i = 0; i < p->value.size(); ++i)
       p->value[i] -= lr_ * (update[i] + wd * p->value[i]);
   }
+  optim::check_step_finite(params, name());
 }
 
 int64_t StructuredAdamW::state_bytes() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/threadpool.h"
+#include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
 namespace apollo::optim {
@@ -23,6 +24,7 @@ float rms(const Matrix& m) {
 void Adafactor::step(const nn::ParamList& params) {
   ++t_;
   for (nn::Parameter* p : params) {
+    APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
     State& s = states_[p];
     ++s.local_t;
     const float beta2t =
@@ -33,6 +35,7 @@ void Adafactor::step(const nn::ParamList& params) {
       update_vector(p, s, beta2t);
     }
   }
+  check_step_finite(params, name());
 }
 
 void Adafactor::update_matrix(nn::Parameter* p, State& s, float beta2t) {

@@ -8,6 +8,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "optim/finite_guard.h"
 #include "optim/optimizer.h"
 #include "quant/quant.h"
 
@@ -23,6 +24,7 @@ class Adam8bit : public Optimizer {
     const float bc1 = 1.f - std::pow(b1, static_cast<float>(t_));
     const float bc2 = 1.f - std::pow(b2, static_cast<float>(t_));
     for (nn::Parameter* p : params) {
+      APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
       State& s = states_[p];
       const Matrix& g = p->grad;
       if (!s.m) {
@@ -41,6 +43,7 @@ class Adam8bit : public Optimizer {
       s.m->store(m);
       s.v->store(v);
     }
+    check_step_finite(params, name());
   }
 
   std::string name() const override { return "8-bit Adam"; }

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "optim/finite_guard.h"
 #include "optim/optimizer.h"
 #include "tensor/matrix.h"
 
@@ -26,6 +27,7 @@ class AdamMini : public Optimizer {
     const float bc1 = 1.f - std::pow(b1, static_cast<float>(t_));
     const float bc2 = 1.f - std::pow(b2, static_cast<float>(t_));
     for (nn::Parameter* p : params) {
+      APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
       State& s = states_[p];
       const Matrix& g = p->grad;
       const int64_t rows = g.rows(), cols = g.cols();
@@ -52,6 +54,7 @@ class AdamMini : public Optimizer {
         }
       }
     }
+    check_step_finite(params, name());
   }
 
   std::string name() const override { return "Adam-mini"; }

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "optim/dense_adam.h"
+#include "optim/finite_guard.h"
 
 namespace apollo::optim {
 
@@ -11,8 +12,11 @@ class AdamW : public Optimizer {
 
   void step(const nn::ParamList& params) override {
     ++t_;
-    for (nn::Parameter* p : params)
+    for (nn::Parameter* p : params) {
+      APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
       core_.update(p, p->value, p->grad, lr_, t_);
+    }
+    check_step_finite(params, name());
   }
 
   std::string name() const override { return "AdamW"; }

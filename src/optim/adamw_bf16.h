@@ -9,6 +9,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "optim/finite_guard.h"
 #include "optim/optimizer.h"
 #include "quant/bf16.h"
 
@@ -24,6 +25,7 @@ class AdamWBf16 : public Optimizer {
     const float bc1 = 1.f - std::pow(b1, static_cast<float>(t_));
     const float bc2 = 1.f - std::pow(b2, static_cast<float>(t_));
     for (nn::Parameter* p : params) {
+      APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
       State& s = states_[p];
       const Matrix& g = p->grad;
       if (!s.m) {
@@ -42,6 +44,7 @@ class AdamWBf16 : public Optimizer {
       s.m->store(m);
       s.v->store(v);
     }
+    check_step_finite(params, name());
   }
 
   std::string name() const override { return "AdamW (bf16 states)"; }

@@ -9,6 +9,8 @@ namespace apollo::optim {
 
 void DenseAdamCore::update(const void* key, Matrix& value,
                            const Matrix& grad, float lr, int64_t t) {
+  APOLLO_CHECK_SAME_SHAPE(value, grad);
+  APOLLO_CHECK_GE(t, 1);
   State& s = states_[key];
   if (s.m.size() == 0) {
     s.m.reshape_discard(grad.rows(), grad.cols());

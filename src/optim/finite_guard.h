@@ -1,0 +1,26 @@
+// Post-step numeric-safety hook shared by every optimizer.
+//
+// Called at the end of each Optimizer::step(); under APOLLO_CHECK_FINITE=1
+// (see tensor/finite.h) it verifies that no parameter picked up a NaN/Inf
+// from the update, reporting the parameter name and the step that corrupted
+// it. Zero work when the mode is off beyond one branch per step.
+#pragma once
+
+#include <string>
+
+#include "nn/parameter.h"
+#include "tensor/finite.h"
+
+namespace apollo::optim {
+
+// This IS the check layer; nothing shape-dependent to verify up front.
+// lint:allow(check-shape-preconditions)
+inline void check_step_finite(const nn::ParamList& params,
+                              const std::string& optimizer_name) {
+  if (!finite_checks_enabled()) return;
+  const std::string when = optimizer_name + " step";
+  for (const nn::Parameter* p : params)
+    check_finite_or_die(p->value, p->name.c_str(), when.c_str());
+}
+
+}  // namespace apollo::optim

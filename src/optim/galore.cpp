@@ -4,6 +4,7 @@
 
 #include "core/threadpool.h"
 #include "linalg/svd.h"
+#include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
 namespace apollo::optim {
@@ -17,6 +18,7 @@ GaLore::GaLore(const GaloreConfig& cfg, std::string display_name)
 void GaLore::step(const nn::ParamList& params) {
   ++t_;
   for (nn::Parameter* p : params) {
+    APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
     if (!p->matrix_shaped || std::min(p->value.rows(), p->value.cols()) <=
                                  cfg_.rank) {
       // 1-D gains and matrices already at/below the target rank get dense
@@ -26,6 +28,7 @@ void GaLore::step(const nn::ParamList& params) {
     }
     update_matrix_param(p);
   }
+  check_step_finite(params, name());
 }
 
 void GaLore::update_matrix_param(nn::Parameter* p) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/svd.h"
+#include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
 namespace apollo::optim {
@@ -74,6 +75,7 @@ void LowRankAdapter::recompose(nn::Parameter* p, State& s) {
 void LowRankAdapter::step(const nn::ParamList& params) {
   ++t_;
   for (nn::Parameter* p : params) {
+    APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
     if (!p->matrix_shaped ||
         std::min(p->value.rows(), p->value.cols()) <= cfg_.rank) {
       dense_.update(p, p->value, p->grad, lr_, t_);
@@ -131,6 +133,7 @@ void LowRankAdapter::step(const nn::ParamList& params) {
       factor_adam_.reset_key(&s.b);
     }
   }
+  check_step_finite(params, name());
 }
 
 int64_t LowRankAdapter::state_bytes() const {

@@ -18,6 +18,7 @@ class NormGrowthLimiter {
   // Rescales `g` in place if its norm grew faster than γ; updates the
   // tracked norm either way.
   void apply(Matrix& g) {
+    APOLLO_CHECK_GT(g.size(), 0);
     const double n = frobenius_norm(g);
     if (prev_ > 0.0 && n > gamma_ * prev_ && n > 0.0) {
       scale_inplace(g, static_cast<float>(gamma_ * prev_ / n));

@@ -7,6 +7,7 @@
 
 #include <unordered_map>
 
+#include "optim/finite_guard.h"
 #include "optim/optimizer.h"
 #include "tensor/ops.h"
 
@@ -20,6 +21,7 @@ class Sgd : public Optimizer {
   void step(const nn::ParamList& params) override {
     ++t_;
     for (nn::Parameter* p : params) {
+      APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
       if (momentum_ == 0.f) {
         for (int64_t i = 0; i < p->value.size(); ++i)
           p->value[i] -=
@@ -33,6 +35,7 @@ class Sgd : public Optimizer {
         p->value[i] -= lr_ * (buf[i] + weight_decay_ * p->value[i]);
       }
     }
+    check_step_finite(params, name());
   }
 
   std::string name() const override {

@@ -1,0 +1,52 @@
+#include "tensor/finite.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace apollo {
+
+namespace {
+std::atomic<int> g_override{-1};
+}  // namespace
+
+bool finite_checks_enabled() {
+  const int o = g_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  static const bool env_on = [] {
+    const char* e = std::getenv("APOLLO_CHECK_FINITE");
+    return e != nullptr && e[0] == '1';
+  }();
+  return env_on;
+}
+
+void finite_checks_override(int mode) {
+  g_override.store(mode, std::memory_order_relaxed);
+}
+
+int64_t first_nonfinite(const Matrix& m) {
+  const float* d = m.data();
+  for (int64_t i = 0; i < m.size(); ++i)
+    if (!std::isfinite(d[i])) return i;
+  return -1;
+}
+
+void check_finite_or_die(const Matrix& m, const char* tensor,
+                         const char* when) {
+  if (!finite_checks_enabled()) return;
+  const int64_t i = first_nonfinite(m);
+  if (i < 0) return;
+  const float v = m[i];
+  std::fprintf(stderr,
+               "APOLLO_CHECK_FINITE: non-finite value %s in tensor \"%s\" "
+               "(%lldx%lld) at index %lld (row %lld, col %lld) after %s\n",
+               std::isnan(v) ? "nan" : (v > 0 ? "+inf" : "-inf"), tensor,
+               static_cast<long long>(m.rows()),
+               static_cast<long long>(m.cols()), static_cast<long long>(i),
+               static_cast<long long>(m.cols() ? i / m.cols() : 0),
+               static_cast<long long>(m.cols() ? i % m.cols() : 0), when);
+  std::abort();
+}
+
+}  // namespace apollo

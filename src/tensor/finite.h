@@ -1,0 +1,36 @@
+// Debug numeric-safety mode: NaN/Inf detection hooks.
+//
+// Low-rank-state optimizers are where silent numeric corruption hides —
+// a single NaN in a projected moment poisons every later step but may not
+// surface in the loss for thousands of iterations. With APOLLO_CHECK_FINITE=1
+// in the environment, the library verifies that
+//   * every gradient produced during autograd backward, and
+//   * every parameter written by an optimizer step()
+// is free of NaN/Inf, aborting at the *first* corrupt tensor with its name
+// and the index of the first bad value. Off by default; when off the only
+// cost at each hook site is one predictable branch on a cached flag.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace apollo {
+
+// True when APOLLO_CHECK_FINITE=1. The environment is read once and cached;
+// finite_checks_override() takes precedence when set.
+bool finite_checks_enabled();
+
+// Force the mode on (1) / off (0), or defer to the environment again (-1).
+// For tests and tooling; not part of the stable API.
+void finite_checks_override(int mode);
+
+// Index of the first non-finite element of `m`, or -1 if all finite.
+int64_t first_nonfinite(const Matrix& m);
+
+// Abort with a diagnostic naming `tensor` (e.g. a parameter name or autograd
+// op) and `when` (e.g. "AdamW step") if `m` contains NaN/Inf. No-op when the
+// mode is disabled.
+void check_finite_or_die(const Matrix& m, const char* tensor, const char* when);
+
+}  // namespace apollo

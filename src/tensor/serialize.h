@@ -12,11 +12,13 @@
 
 namespace apollo {
 
+// n == 0 short-circuits: empty matrices/strings have a null data() pointer,
+// and passing null to fwrite/fread is UB even for zero-length transfers.
 inline bool write_bytes(std::FILE* f, const void* p, size_t n) {
-  return std::fwrite(p, 1, n, f) == n;
+  return n == 0 || std::fwrite(p, 1, n, f) == n;
 }
 inline bool read_bytes(std::FILE* f, void* p, size_t n) {
-  return std::fread(p, 1, n, f) == n;
+  return n == 0 || std::fread(p, 1, n, f) == n;
 }
 
 template <typename T>

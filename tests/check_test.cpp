@@ -1,0 +1,168 @@
+// Tests for the check layer itself: the APOLLO_CHECK* macros must abort
+// with a diagnosable file:line message, and the APOLLO_CHECK_FINITE mode
+// must catch injected NaN/Inf in optimizer steps and autograd backward.
+//
+// Death tests run in a forked child (gtest "fast" style); the thread pool
+// is pinned to one lane so the fork never races live worker threads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "autograd/tape.h"
+#include "core/apollo.h"
+#include "core/threadpool.h"
+#include "nn/parameter.h"
+#include "optim/adamw.h"
+#include "tensor/check.h"
+#include "tensor/finite.h"
+#include "tensor/matrix.h"
+
+namespace apollo {
+namespace {
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// --- APOLLO_CHECK* abort diagnostics ---------------------------------------
+
+TEST(CheckDeathTest, AbortsWithExpressionFileAndLine) {
+  EXPECT_DEATH(APOLLO_CHECK(2 + 2 == 5),
+               "CHECK failed: 2 \\+ 2 == 5 at .*check_test\\.cpp:[0-9]+");
+}
+
+TEST(CheckDeathTest, CheckMsgAppendsMessage) {
+  EXPECT_DEATH(APOLLO_CHECK_MSG(false, "grad must be pre-sized"),
+               "check_test\\.cpp:[0-9]+.*grad must be pre-sized");
+}
+
+TEST(CheckDeathTest, CheckEqPrintsBothValues) {
+  const int rows = 3, cols = 4;
+  EXPECT_DEATH(APOLLO_CHECK_EQ(rows, cols),
+               "rows == cols at .*check_test\\.cpp:[0-9]+.*values: 3 vs 4");
+}
+
+TEST(CheckDeathTest, CheckNePrintsBothValues) {
+  EXPECT_DEATH(APOLLO_CHECK_NE(7, 7), "values: 7 vs 7");
+}
+
+TEST(CheckDeathTest, CheckLePrintsBothValues) {
+  const int64_t rank = 64, small_dim = 8;
+  EXPECT_DEATH(APOLLO_CHECK_LE(rank, small_dim), "values: 64 vs 8");
+}
+
+TEST(CheckDeathTest, SameShapePrintsBothShapes) {
+  const Matrix a(2, 3), b(3, 2);
+  EXPECT_DEATH(APOLLO_CHECK_SAME_SHAPE(a, b),
+               "a same shape as b at .*check_test\\.cpp:[0-9]+.*"
+               "shapes: 2x3 vs 3x2");
+}
+
+TEST(CheckDeathTest, CheckShapePinsBothDims) {
+  const Matrix m(4, 8);
+  EXPECT_DEATH(APOLLO_CHECK_SHAPE(m, 4, 9), "values: 8 vs 9");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  APOLLO_CHECK(true);
+  APOLLO_CHECK_EQ(1, 1);
+  APOLLO_CHECK_NE(1, 2);
+  APOLLO_CHECK_LT(1, 2);
+  APOLLO_CHECK_LE(2, 2);
+  APOLLO_CHECK_GT(2, 1);
+  APOLLO_CHECK_GE(2, 2);
+  const Matrix a(2, 3), b(2, 3);
+  APOLLO_CHECK_SAME_SHAPE(a, b);
+  APOLLO_CHECK_SHAPE(a, 2, 3);
+}
+
+TEST(CheckTest, CheckOpEvaluatesOperandsOnce) {
+  int calls = 0;
+  const auto f = [&calls] { return ++calls; };
+  APOLLO_CHECK_GE(f(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+// --- APOLLO_CHECK_FINITE: environment-gated numeric-safety mode ------------
+
+// Runs first among the finite tests (death-test suites execute before the
+// plain suites and nothing earlier in this binary queries the env cache),
+// exercising the real APOLLO_CHECK_FINITE=1 environment path end to end.
+TEST(FiniteCheckDeathTest, EnvVarCatchesInjectedNaNInOptimizerStep) {
+  ::setenv("APOLLO_CHECK_FINITE", "1", /*overwrite=*/1);
+  core::set_thread_count(1);
+  nn::Parameter p("layers.0.attn.wq", 4, 8);
+  p.value.fill(0.5f);
+  p.grad.fill(0.1f);
+  p.grad[11] = kNan;
+  optim::AdamW opt;
+  opt.set_lr(0.01f);
+  const nn::ParamList params{&p};
+  EXPECT_DEATH(opt.step(params),
+               "non-finite value nan in tensor \"layers\\.0\\.attn\\.wq\" "
+               "\\(4x8\\) at index 11 \\(row 1, col 3\\) after AdamW step");
+}
+
+TEST(FiniteCheckDeathTest, CatchesInfInApolloStep) {
+  finite_checks_override(1);
+  core::set_thread_count(1);
+  nn::Parameter p("mlp.w_gate", 8, 16);
+  p.value.fill(0.5f);
+  p.grad.fill(0.1f);
+  p.grad[3] = kInf;
+  core::ApolloConfig cfg;
+  cfg.rank = 2;
+  core::Apollo opt(cfg);
+  opt.set_lr(0.01f);
+  const nn::ParamList params{&p};
+  EXPECT_DEATH(opt.step(params), "non-finite value .* \"mlp\\.w_gate\"");
+  finite_checks_override(-1);
+}
+
+TEST(FiniteCheckDeathTest, CatchesNaNDuringAutogradBackward) {
+  finite_checks_override(1);
+  core::set_thread_count(1);
+  nn::Parameter p("w", 2, 2);
+  p.value.fill(1.f);
+  ag::Tape tape;
+  const ag::Var leaf = tape.leaf(&p.value, &p.grad);
+  // Scaling by inf poisons the gradient flowing back into the leaf.
+  const ag::Var scaled = tape.scale(leaf, kInf);
+  Matrix w(2, 2);
+  w.fill(1.f);
+  const ag::Var loss = tape.dot(scaled, w);
+  EXPECT_DEATH(tape.backward(loss),
+               "non-finite value .* after autograd backward");
+  finite_checks_override(-1);
+}
+
+TEST(FiniteCheckTest, ModeOffIsNonIntrusive) {
+  finite_checks_override(0);
+  core::set_thread_count(1);
+  nn::Parameter p("w", 2, 2);
+  p.value.fill(0.5f);
+  p.grad.fill(0.1f);
+  p.grad[0] = kNan;
+  optim::AdamW opt;
+  opt.set_lr(0.01f);
+  const nn::ParamList params{&p};
+  opt.step(params);  // must not abort: the check is off
+  EXPECT_TRUE(std::isnan(p.value[0]));
+  EXPECT_FALSE(std::isnan(p.value[1]));
+  finite_checks_override(-1);
+}
+
+TEST(FiniteCheckTest, FirstNonfiniteFindsTheFirstBadIndex) {
+  Matrix m(2, 3);
+  m.fill(1.f);
+  EXPECT_EQ(first_nonfinite(m), -1);
+  m[4] = kInf;
+  m[5] = kNan;
+  EXPECT_EQ(first_nonfinite(m), 4);
+  m[1] = kNan;
+  EXPECT_EQ(first_nonfinite(m), 1);
+}
+
+}  // namespace
+}  // namespace apollo

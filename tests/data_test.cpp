@@ -125,9 +125,10 @@ TEST_P(CommonsenseTaskTest, ExamplesWellFormed) {
     // QUERY marker sits just before the answer.
     EXPECT_EQ(ex.tokens[static_cast<size_t>(ex.answer_pos - 1)],
               c.config().vocab - 1);
-    if (!ex.choices.empty())
+    if (!ex.choices.empty()) {
       EXPECT_NE(std::find(ex.choices.begin(), ex.choices.end(), ex.answer),
                 ex.choices.end());
+    }
   }
 }
 

@@ -1,0 +1,199 @@
+// Subprocess tests for tools/apollo_lint.cpp: plant violations of distinct
+// rules in a throwaway tree, run the real binary against it, and assert the
+// diagnostics (rule id, file:line prefix, exit status) and the suppression
+// escape hatches. APOLLO_LINT_BIN is injected by tests/CMakeLists.txt.
+//
+// Every planted violation below lives inside a C++ string literal, which the
+// linter's comment/string stripper blanks — so this file itself stays clean
+// under the repo-wide apollo_lint ctest.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_lint(const std::string& args) {
+  const std::string cmd = std::string(APOLLO_LINT_BIN) + " " + args + " 2>&1";
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  RunResult r;
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) r.output += buf;
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl =
+        (fs::temp_directory_path() / "apollo_lint_test.XXXXXX").string();
+    ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+    root_ = tmpl;
+    fs::create_directories(root_ / "src" / "optim");
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void put(const std::string& rel, const std::string& text) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p, std::ios::binary);
+    out << text;
+    ASSERT_TRUE(out.good());
+  }
+
+  RunResult lint() { return run_lint("--root " + root_.string()); }
+
+  fs::path root_;
+};
+
+TEST_F(LintTest, CleanTreePassesWithExitZero) {
+  put("src/clean.h",
+      "#pragma once\n"
+      "namespace demo { int two(); }\n");
+  put("src/clean.cpp",
+      "#include \"clean.h\"\n"
+      "namespace demo { int two() { return 2; } }\n");
+  const RunResult r = lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("files clean"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, PlantedViolationsOfDistinctRulesAreCaught) {
+  put("src/bad_thread.cpp",
+      "#include <thread>\n"
+      "void spawn() { std::thread t([] {}); t.join(); }\n");
+  put("src/bad_rng.cpp",
+      "#include <cstdlib>\n"
+      "int roll() { return rand(); }\n");
+  put("src/bad_header.h",
+      "using namespace std;\n"
+      "inline int three() { return 3; }\n");
+  put("src/bad_new.cpp",
+      "int* make() { return new int(3); }\n");
+  put("src/bad_printf.cpp",
+      "#include <cstdio>\n"
+      "void show(double x) { std::printf(\"%f\\n\", x); }\n");
+  put("src/bad_accum.cpp",
+      "#include <unordered_map>\n"
+      "float total(const std::unordered_map<int, float>& m) {\n"
+      "  float s = 0.f;\n"
+      "  for (const auto& kv : m) s += kv.second;\n"
+      "  return s;\n"
+      "}\n");
+  const RunResult r = lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("src/bad_thread.cpp:2: raw-thread:"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/bad_rng.cpp:2: raw-rng:"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/bad_header.h:1: pragma-once:"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/bad_header.h:1: using-namespace-header:"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/bad_new.cpp:1: raw-new-delete:"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/bad_printf.cpp:2: printf-float-precision:"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/bad_accum.cpp:4: unordered-float-accum:"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, ShapePreconditionRuleFiresInOptimEntryPoints) {
+  put("src/optim/bad_entry.cpp",
+      "#include \"tensor/matrix.h\"\n"
+      "namespace apollo::optim {\n"
+      "void apply_scale(Matrix& g, float s) {\n"
+      "  for (long i = 0; i < g.size(); ++i) g[i] *= s;\n"
+      "}\n"
+      "}\n");
+  const RunResult r = lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(
+      r.output.find("src/optim/bad_entry.cpp:3: check-shape-preconditions:"),
+      std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, LineSuppressionSilencesTheRule) {
+  put("src/suppressed.cpp",
+      "#include <thread>\n"
+      "// lint:allow(raw-thread)\n"
+      "void spawn() { std::thread t([] {}); t.join(); }\n");
+  const RunResult r = lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, FileSuppressionSilencesTheWholeFile) {
+  put("src/suppressed_file.cpp",
+      "// lint:allow-file(raw-new-delete)\n"
+      "int* a() { return new int(1); }\n"
+      "int* b() { return new int(2); }\n");
+  const RunResult r = lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, SuppressionOfOneRuleDoesNotHideAnother) {
+  put("src/partial.cpp",
+      "#include <thread>\n"
+      "// lint:allow(raw-rng)\n"
+      "void spawn() { std::thread t([] {}); t.join(); }\n");
+  const RunResult r = lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-thread"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, ViolationsInsideCommentsAndStringsAreIgnored) {
+  put("src/innocuous.cpp",
+      "// std::thread in a comment is fine; so is rand().\n"
+      "const char* kDoc = \"uses std::thread and new int[4]\";\n"
+      "int use() { return kDoc[0]; }\n");
+  const RunResult r = lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintCliTest, ListRulesNamesEveryRule) {
+  const RunResult r = run_lint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule :
+       {"raw-thread", "raw-rng", "unordered-float-accum", "pragma-once",
+        "using-namespace-header", "raw-new-delete", "printf-float-precision",
+        "check-shape-preconditions"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(LintCliTest, UnknownOptionIsAUsageError) {
+  const RunResult r = run_lint("--no-such-flag");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(LintCliTest, RealTreeIsClean) {
+  const RunResult r = run_lint("--root " APOLLO_REPO_ROOT);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("files clean"), std::string::npos) << r.output;
+}
+
+}  // namespace

@@ -53,9 +53,11 @@ TEST(AnnotatedCorpus, CopiesActuallyCopy) {
   std::vector<data::SyntheticCorpus::Mechanism> mech;
   for (int i = 0; i < 50; ++i) {
     c.sample_sequence_annotated(rng, 64, seq, mech);
-    for (size_t j = 0; j < mech.size(); ++j)
-      if (mech[j] == data::SyntheticCorpus::Mechanism::kCopy)
+    for (size_t j = 0; j < mech.size(); ++j) {
+      if (mech[j] == data::SyntheticCorpus::Mechanism::kCopy) {
         EXPECT_EQ(seq[j], seq[j - static_cast<size_t>(cfg.copy_distance)]);
+      }
+    }
   }
 }
 

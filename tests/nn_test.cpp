@@ -39,7 +39,9 @@ TEST(LlamaModel, ParameterListShapes) {
   for (auto* p : params) {
     EXPECT_TRUE(p->value.same_shape(p->grad));
     EXPECT_FALSE(p->name.empty());
-    if (!p->matrix_shaped) EXPECT_EQ(p->value.rows(), 1);
+    if (!p->matrix_shaped) {
+      EXPECT_EQ(p->value.rows(), 1);
+    }
   }
   EXPECT_EQ(nn::total_params(params), model.param_count());
 }

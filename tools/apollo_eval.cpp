@@ -1,7 +1,7 @@
 // apollo_eval — evaluate and sample from a trained checkpoint.
 //
 //   $ apollo-eval --load model.ckpt --model 60m --data book.txt
-//   $ apollo-eval --load model.ckpt --model 60m --generate 200 \
+//   $ apollo-eval --load model.ckpt --model 60m --generate 200
 //         --prompt "The " --temperature 0.8
 //
 // Reports held-out perplexity (on the same data kind the model was trained

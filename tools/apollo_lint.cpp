@@ -1,0 +1,812 @@
+// apollo-lint — repo-invariant static analysis for the APOLLO codebase.
+//
+// A self-contained C++20 tool (no external dependencies, per the repo rule)
+// that scans src/, tools/, bench/ and tests/ and enforces the invariants the
+// test suite cannot see — determinism hazards, hygiene, and API-contract
+// rules. Low-rank-state optimizers are exactly where silent numeric
+// corruption hides (projected-moment drift surfaces thousands of steps in),
+// so these are machine-checked rather than left to reviewer vigilance.
+//
+// Rules (each suppressible with `// lint:allow(rule-id)` on the offending
+// line or the line directly above, or `// lint:allow-file(rule-id)` anywhere
+// in the file):
+//
+//   raw-thread                std::thread / std::jthread / std::async /
+//                             OpenMP outside core/threadpool.* — all
+//                             parallelism must go through the deterministic
+//                             fixed-partition pool.
+//   raw-rng                   rand()/srand()/std::random_device/unseeded
+//                             std::mt19937 outside tensor/rng.* — all
+//                             randomness must be explicitly seeded.
+//   unordered-float-accum     float/double accumulation inside a range-for
+//                             over a std::unordered_{map,set} — iteration
+//                             order is unspecified, so the reduction is not
+//                             reproducible.
+//   pragma-once               every header carries #pragma once.
+//   using-namespace-header    no `using namespace` in headers.
+//   raw-new-delete            no raw new/delete (use containers or
+//                             unique_ptr; `= delete` and placement-free
+//                             code stay clean).
+//   printf-float-precision    printf-family float conversions in src/ must
+//                             pin an explicit precision (e.g. %.6g) so logs
+//                             and CSV output are stable across libcs.
+//   check-shape-preconditions function definitions in src/optim/ and
+//                             src/core/ taking Matrix/ParamList arguments
+//                             must APOLLO_CHECK their preconditions (a
+//                             per-function heuristic; constructors with
+//                             init-lists, static helpers and anonymous
+//                             namespaces are exempt).
+//
+// Exit status: 0 when clean, 1 with `file:line: rule-id: message`
+// diagnostics otherwise, 2 on usage/IO errors.
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// File model
+// ---------------------------------------------------------------------------
+
+struct FileText {
+  std::string display_path;  // root-relative, forward slashes
+  std::vector<std::string> raw;   // original lines
+  std::vector<std::string> code;  // comments + string/char literals blanked
+  // (line, rule) pairs that suppress a diagnostic on that line.
+  std::set<std::pair<int, std::string>> line_allows;
+  std::set<std::string> file_allows;
+  bool is_header = false;
+};
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// Records the `lint:allow(...)`/`lint:allow-file(...)` directives found in a
+// comment. Rules may be comma-separated.
+void collect_allows(const std::string& comment, int line, FileText& ft) {
+  for (const char* kind : {"lint:allow-file(", "lint:allow("}) {
+    const bool file_scope = std::string_view(kind).find("file") !=
+                            std::string_view::npos;
+    size_t pos = 0;
+    while ((pos = comment.find(kind, pos)) != std::string::npos) {
+      const size_t open = pos + std::string_view(kind).size();
+      const size_t close = comment.find(')', open);
+      if (close == std::string::npos) break;
+      std::stringstream rules(comment.substr(open, close - open));
+      std::string rule;
+      while (std::getline(rules, rule, ',')) {
+        const size_t b = rule.find_first_not_of(" \t");
+        const size_t e = rule.find_last_not_of(" \t");
+        if (b == std::string::npos) continue;
+        rule = rule.substr(b, e - b + 1);
+        if (file_scope) {
+          ft.file_allows.insert(rule);
+        } else {
+          // Applies to its own line and the next (trailing or preceding
+          // comment style both work).
+          ft.line_allows.insert({line, rule});
+          ft.line_allows.insert({line + 1, rule});
+        }
+      }
+      pos = close;
+    }
+    // Guard against `lint:allow-file` also matching the `lint:allow` pass:
+    if (!file_scope) break;
+  }
+}
+
+// Splits `text` into lines, producing both the raw view and a "code" view
+// with comments and string/char literals replaced by spaces (newlines kept,
+// so line/column positions survive). Raw-string literals are handled.
+void strip_comments_and_strings(const std::string& text, FileText& ft) {
+  enum class S { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  S st = S::kCode;
+  std::string raw_line, code_line, comment, raw_delim;
+  int line = 1;
+  const size_t n = text.size();
+  auto flush_line = [&] {
+    ft.raw.push_back(raw_line);
+    ft.code.push_back(code_line);
+    raw_line.clear();
+    code_line.clear();
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == S::kLine) {
+        collect_allows(comment, line, ft);
+        comment.clear();
+        st = S::kCode;
+      }
+      flush_line();
+      ++line;
+      continue;
+    }
+    raw_line.push_back(c);
+    switch (st) {
+      case S::kCode:
+        if (c == '/' && next == '/') {
+          st = S::kLine;
+          code_line.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          st = S::kBlock;
+          code_line.push_back(' ');
+        } else if (c == '"') {
+          // R"delim( ... )delim" raw strings.
+          size_t back = code_line.size();
+          if (back > 0 && code_line[back - 1] == 'R' &&
+              (back < 2 || !(std::isalnum(static_cast<unsigned char>(
+                                 code_line[back - 2])) ||
+                             code_line[back - 2] == '_'))) {
+            st = S::kRaw;
+            raw_delim.clear();
+            size_t j = i + 1;
+            while (j < n && text[j] != '(') raw_delim.push_back(text[j++]);
+            code_line.push_back('"');
+          } else {
+            st = S::kStr;
+            code_line.push_back('"');
+          }
+        } else if (c == '\'') {
+          // Digit separators (1'000) are not char literals.
+          const bool sep =
+              !code_line.empty() &&
+              std::isdigit(static_cast<unsigned char>(code_line.back())) &&
+              std::isdigit(static_cast<unsigned char>(next));
+          if (sep) {
+            code_line.push_back(c);
+          } else {
+            st = S::kChar;
+            code_line.push_back('\'');
+          }
+        } else {
+          code_line.push_back(c);
+        }
+        break;
+      case S::kLine:
+        comment.push_back(c);
+        code_line.push_back(' ');
+        break;
+      case S::kBlock:
+        code_line.push_back(' ');
+        if (c == '*' && next == '/') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+          st = S::kCode;
+        }
+        break;
+      case S::kStr:
+        code_line.push_back(' ');
+        if (c == '\\' && i + 1 < n && next != '\n') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+        } else if (c == '"') {
+          code_line.back() = '"';
+          st = S::kCode;
+        }
+        break;
+      case S::kChar:
+        code_line.push_back(' ');
+        if (c == '\\' && i + 1 < n && next != '\n') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+        } else if (c == '\'') {
+          code_line.back() = '\'';
+          st = S::kCode;
+        }
+        break;
+      case S::kRaw: {
+        code_line.push_back(' ');
+        const std::string closer = ")" + raw_delim + "\"";
+        if (c == ')' && text.compare(i, closer.size(), closer) == 0) {
+          for (size_t k = 1; k < closer.size() && i + 1 < n; ++k) {
+            ++i;
+            raw_line.push_back(text[i]);
+            code_line.push_back(' ');
+          }
+          code_line.back() = '"';
+          st = S::kCode;
+        }
+        break;
+      }
+    }
+  }
+  if (st == S::kLine) collect_allows(comment, line, ft);
+  flush_line();
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers (operate on the blanked "code" view)
+// ---------------------------------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Finds `token` in `s` at a word boundary, starting at `from`.
+size_t find_token(const std::string& s, std::string_view token,
+                  size_t from = 0) {
+  size_t pos = from;
+  while ((pos = s.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
+    const size_t end = pos + token.size();
+    const char last = token.back();
+    const bool right_ok =
+        !ident_char(last) || end >= s.size() || !ident_char(s[end]);
+    if (left_ok && right_ok) return pos;
+    pos += 1;
+  }
+  return std::string::npos;
+}
+
+// Whole-file code text with '\n' separators, plus per-line offsets, for the
+// rules that need to match across line boundaries.
+struct FlatCode {
+  std::string text;
+  std::vector<size_t> line_start;  // offset of each line in `text`
+  explicit FlatCode(const FileText& ft) {
+    for (const std::string& l : ft.code) {
+      line_start.push_back(text.size());
+      text += l;
+      text += '\n';
+    }
+  }
+  int line_of(size_t off) const {
+    const auto it =
+        std::upper_bound(line_start.begin(), line_start.end(), off);
+    return static_cast<int>(it - line_start.begin());
+  }
+};
+
+// Matching close brace/paren for the opener at `open`; npos if unbalanced.
+size_t match_forward(const std::string& s, size_t open) {
+  const char oc = s[open];
+  const char cc = oc == '(' ? ')' : oc == '{' ? '}' : oc == '[' ? ']' : '\0';
+  if (cc == '\0') return std::string::npos;
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    if (s[i] == oc) ++depth;
+    if (s[i] == cc && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine
+// ---------------------------------------------------------------------------
+
+class Linter {
+ public:
+  explicit Linter(std::vector<Diagnostic>* out) : out_(out) {}
+
+  void lint(FileText& ft) {
+    rule_raw_thread(ft);
+    rule_raw_rng(ft);
+    rule_unordered_float_accum(ft);
+    rule_pragma_once(ft);
+    rule_using_namespace_header(ft);
+    rule_raw_new_delete(ft);
+    rule_printf_float_precision(ft);
+    rule_check_shape_preconditions(ft);
+  }
+
+ private:
+  void emit(const FileText& ft, int line, const std::string& rule,
+            const std::string& message) {
+    if (ft.file_allows.count(rule)) return;
+    if (ft.line_allows.count({line, rule})) return;
+    out_->push_back({ft.display_path, line, rule, message});
+  }
+
+  static bool path_is(const FileText& ft, std::string_view prefix) {
+    return ft.display_path.rfind(prefix, 0) == 0;
+  }
+  static bool path_in(const FileText& ft, std::string_view needle) {
+    return ft.display_path.find(needle) != std::string::npos;
+  }
+
+  // --- determinism ---------------------------------------------------------
+
+  void rule_raw_thread(FileText& ft) {
+    if (path_in(ft, "core/threadpool.")) return;
+    static constexpr std::string_view kTokens[] = {
+        "std::thread", "std::jthread", "std::async", "omp.h", "#pragma omp"};
+    for (size_t i = 0; i < ft.code.size(); ++i) {
+      for (std::string_view tok : kTokens) {
+        if (ft.code[i].find(tok) != std::string::npos) {
+          emit(ft, static_cast<int>(i + 1), "raw-thread",
+               "raw threading primitive (" + std::string(tok) +
+                   "); route parallel work through core/threadpool.* so the "
+                   "determinism contract holds for any APOLLO_THREADS");
+          break;
+        }
+      }
+    }
+  }
+
+  void rule_raw_rng(FileText& ft) {
+    if (path_in(ft, "tensor/rng.")) return;
+    static constexpr std::string_view kTokens[] = {
+        "rand", "srand", "drand48", "random_device"};
+    for (size_t i = 0; i < ft.code.size(); ++i) {
+      const std::string& l = ft.code[i];
+      for (std::string_view tok : kTokens) {
+        size_t pos = find_token(l, tok);
+        // `rand` / `srand` only count as the C library call: `rand(`.
+        while (pos != std::string::npos && tok != "random_device") {
+          const size_t after = l.find_first_not_of(' ', pos + tok.size());
+          if (after != std::string::npos && l[after] == '(') break;
+          pos = find_token(l, tok, pos + 1);
+        }
+        if (pos != std::string::npos) {
+          emit(ft, static_cast<int>(i + 1), "raw-rng",
+               "non-reproducible randomness (" + std::string(tok) +
+                   "); all randomness must flow through the seeded "
+                   "apollo::Rng (tensor/rng.*)");
+          break;
+        }
+      }
+      // Unseeded std::mt19937 / mt19937_64: engine declared with no ctor
+      // argument draws an implementation-defined default seed.
+      for (std::string_view eng : {"mt19937_64", "mt19937"}) {
+        const size_t pos = find_token(l, eng);
+        if (pos == std::string::npos) continue;
+        size_t j = pos + eng.size();
+        while (j < l.size() && (l[j] == ' ' || ident_char(l[j]))) ++j;
+        bool seeded = false;
+        if (j < l.size() && (l[j] == '(' || l[j] == '{')) {
+          const size_t close = match_forward(l, j);
+          if (close != std::string::npos &&
+              l.find_first_not_of(' ', j + 1) < close)
+            seeded = true;
+        }
+        if (!seeded) {
+          emit(ft, static_cast<int>(i + 1), "raw-rng",
+               "unseeded std::" + std::string(eng) +
+                   "; seed explicitly, or better use apollo::Rng "
+                   "(tensor/rng.*)");
+        }
+        break;
+      }
+    }
+  }
+
+  void rule_unordered_float_accum(FileText& ft) {
+    const FlatCode flat(ft);
+    // Names of variables declared as unordered containers in this file.
+    std::set<std::string> unordered_vars;
+    for (std::string_view kind : {"unordered_map", "unordered_set"}) {
+      size_t pos = 0;
+      while ((pos = find_token(flat.text, kind, pos)) != std::string::npos) {
+        const size_t lt = flat.text.find('<', pos);
+        pos += kind.size();
+        if (lt == std::string::npos) continue;
+        const size_t gt = match_angle(flat.text, lt);
+        if (gt == std::string::npos) continue;
+        // Declared name: first identifier after the closing `>`.
+        size_t j = gt + 1;
+        while (j < flat.text.size() &&
+               (flat.text[j] == ' ' || flat.text[j] == '&' ||
+                flat.text[j] == '\n'))
+          ++j;
+        std::string name;
+        while (j < flat.text.size() && ident_char(flat.text[j]))
+          name.push_back(flat.text[j++]);
+        if (!name.empty()) unordered_vars.insert(name);
+      }
+    }
+    if (unordered_vars.empty()) return;
+
+    // Range-fors over one of those variables whose body accumulates into a
+    // float/double: the reduction order is the container's (unspecified)
+    // iteration order.
+    size_t pos = 0;
+    while ((pos = find_token(flat.text, "for", pos)) != std::string::npos) {
+      const size_t head_open = flat.text.find_first_not_of(" \n", pos + 3);
+      pos += 3;
+      if (head_open == std::string::npos || flat.text[head_open] != '(')
+        continue;
+      const size_t head_close = match_forward(flat.text, head_open);
+      if (head_close == std::string::npos) continue;
+      const std::string head =
+          flat.text.substr(head_open + 1, head_close - head_open - 1);
+      const size_t colon = head.find(':');
+      if (colon == std::string::npos || head.find(';') != std::string::npos)
+        continue;  // not a range-for
+      std::string range = head.substr(colon + 1);
+      // Strip whitespace and trailing member access (states_.foo → states_).
+      std::string range_var;
+      for (char c : range) {
+        if (c == ' ' || c == '\n') continue;
+        if (!ident_char(c)) break;
+        range_var.push_back(c);
+      }
+      if (!unordered_vars.count(range_var)) continue;
+      // Loop body: either a braced block or a single statement.
+      size_t body_begin = flat.text.find_first_not_of(" \n", head_close + 1);
+      if (body_begin == std::string::npos) continue;
+      size_t body_end;
+      if (flat.text[body_begin] == '{') {
+        body_end = match_forward(flat.text, body_begin);
+        if (body_end == std::string::npos) continue;
+      } else {
+        body_end = flat.text.find(';', body_begin);
+        if (body_end == std::string::npos) continue;
+      }
+      const std::string body =
+          flat.text.substr(body_begin, body_end - body_begin);
+      // Accumulation targets: identifiers on the left of += / -= / *=.
+      for (std::string_view acc_op : {"+=", "-=", "*="}) {
+        size_t p = 0;
+        while ((p = body.find(acc_op, p)) != std::string::npos) {
+          // Identifier to the left.
+          size_t e = p;
+          while (e > 0 && body[e - 1] == ' ') --e;
+          size_t b = e;
+          while (b > 0 && ident_char(body[b - 1])) --b;
+          const std::string target = body.substr(b, e - b);
+          p += acc_op.size();
+          if (target.empty()) continue;
+          if (is_float_var(flat.text, target)) {
+            emit(ft, flat.line_of(body_begin + p - acc_op.size()),
+                 "unordered-float-accum",
+                 "float accumulation into '" + target +
+                     "' while iterating std::unordered container '" +
+                     range_var +
+                     "'; iteration order is unspecified, making the "
+                     "reduction non-reproducible — iterate a sorted key "
+                     "list instead");
+          }
+        }
+      }
+    }
+  }
+
+  // `name` declared as float/double somewhere in the file?
+  static bool is_float_var(const std::string& code, const std::string& name) {
+    for (std::string_view ty : {"float", "double"}) {
+      size_t pos = 0;
+      while ((pos = find_token(code, ty, pos)) != std::string::npos) {
+        size_t j = pos + ty.size();
+        pos = j;
+        while (j < code.size() && (code[j] == ' ' || code[j] == '\n')) ++j;
+        size_t e = j;
+        while (e < code.size() && ident_char(code[e])) ++e;
+        if (code.substr(j, e - j) == name) return true;
+      }
+    }
+    return false;
+  }
+
+  // Matches template angle brackets (no operator< inside a container type).
+  static size_t match_angle(const std::string& s, size_t open) {
+    int depth = 0;
+    for (size_t i = open; i < s.size(); ++i) {
+      if (s[i] == '<') ++depth;
+      if (s[i] == '>' && --depth == 0) return i;
+      if (s[i] == ';') return std::string::npos;
+    }
+    return std::string::npos;
+  }
+
+  // --- hygiene -------------------------------------------------------------
+
+  void rule_pragma_once(FileText& ft) {
+    if (!ft.is_header) return;
+    for (const std::string& l : ft.code)
+      if (l.find("#pragma once") != std::string::npos) return;
+    emit(ft, 1, "pragma-once", "header is missing #pragma once");
+  }
+
+  void rule_using_namespace_header(FileText& ft) {
+    if (!ft.is_header) return;
+    for (size_t i = 0; i < ft.code.size(); ++i) {
+      const size_t pos = find_token(ft.code[i], "using");
+      if (pos == std::string::npos) continue;
+      if (find_token(ft.code[i], "namespace", pos) != std::string::npos) {
+        emit(ft, static_cast<int>(i + 1), "using-namespace-header",
+             "`using namespace` in a header leaks into every includer");
+      }
+    }
+  }
+
+  void rule_raw_new_delete(FileText& ft) {
+    // Files allowed to manage raw memory (none today; extend deliberately).
+    static constexpr std::string_view kAllowlist[] = {""};
+    for (std::string_view a : kAllowlist)
+      if (!a.empty() && path_in(ft, a)) return;
+    for (size_t i = 0; i < ft.code.size(); ++i) {
+      const std::string& l = ft.code[i];
+      size_t pos = find_token(l, "new");
+      while (pos != std::string::npos) {
+        // `operator new` overloads are declarations, not allocations.
+        const std::string before = l.substr(0, pos);
+        const bool is_operator =
+            before.find("operator") != std::string::npos;
+        const size_t after = l.find_first_not_of(' ', pos + 3);
+        const bool allocates =
+            after != std::string::npos &&
+            (ident_char(l[after]) || l[after] == '(' || l[after] == '[');
+        if (!is_operator && allocates) {
+          emit(ft, static_cast<int>(i + 1), "raw-new-delete",
+               "raw `new`; use std::vector / std::make_unique so ownership "
+               "is explicit");
+          break;
+        }
+        pos = find_token(l, "new", pos + 3);
+      }
+      pos = find_token(l, "delete");
+      while (pos != std::string::npos) {
+        size_t b = pos;
+        while (b > 0 && l[b - 1] == ' ') --b;
+        const bool deleted_fn = b > 0 && l[b - 1] == '=';
+        const bool is_operator =
+            l.substr(0, pos).find("operator") != std::string::npos;
+        if (!deleted_fn && !is_operator) {
+          emit(ft, static_cast<int>(i + 1), "raw-new-delete",
+               "raw `delete`; use owning containers / smart pointers");
+          break;
+        }
+        pos = find_token(l, "delete", pos + 6);
+      }
+    }
+  }
+
+  void rule_printf_float_precision(FileText& ft) {
+    if (!path_is(ft, "src/")) return;
+    static constexpr std::string_view kFns[] = {"printf", "fprintf",
+                                                "snprintf", "sprintf"};
+    for (size_t i = 0; i < ft.raw.size(); ++i) {
+      bool has_call = false;
+      for (std::string_view fn : kFns)
+        if (find_token(ft.code[i], fn) != std::string::npos) has_call = true;
+      if (!has_call) continue;
+      // Scan the raw line's string literals for %-conversions.
+      const std::string& raw = ft.raw[i];
+      bool in_str = false;
+      for (size_t j = 0; j < raw.size(); ++j) {
+        if (raw[j] == '"' && (j == 0 || raw[j - 1] != '\\')) {
+          in_str = !in_str;
+          continue;
+        }
+        if (!in_str || raw[j] != '%') continue;
+        size_t k = j + 1;
+        if (k < raw.size() && raw[k] == '%') {  // literal %%
+          j = k;
+          continue;
+        }
+        bool has_dot = false;
+        while (k < raw.size() &&
+               (std::isdigit(static_cast<unsigned char>(raw[k])) ||
+                raw[k] == '.' || raw[k] == '-' || raw[k] == '+' ||
+                raw[k] == ' ' || raw[k] == '#' || raw[k] == '*' ||
+                raw[k] == 'l' || raw[k] == 'L' || raw[k] == 'h')) {
+          if (raw[k] == '.') has_dot = true;
+          ++k;
+        }
+        if (k < raw.size() && std::strchr("fFeEgG", raw[k]) != nullptr &&
+            !has_dot) {
+          emit(ft, static_cast<int>(i + 1), "printf-float-precision",
+               std::string("float conversion %") + raw[k] +
+                   " without explicit precision; pin it (e.g. %.6g) so "
+                   "output is byte-stable across platforms");
+        }
+        j = k;
+      }
+    }
+  }
+
+  // --- API contract --------------------------------------------------------
+
+  void rule_check_shape_preconditions(FileText& ft) {
+    if (!path_is(ft, "src/optim/") && !path_is(ft, "src/core/")) return;
+    const FlatCode flat(ft);
+    const std::string& s = flat.text;
+
+    // Anonymous-namespace extents (internal helpers are exempt).
+    std::vector<std::pair<size_t, size_t>> anon;
+    size_t pos = 0;
+    while ((pos = find_token(s, "namespace", pos)) != std::string::npos) {
+      size_t j = s.find_first_not_of(" \n", pos + 9);
+      pos += 9;
+      if (j == std::string::npos || s[j] != '{') continue;
+      const size_t close = match_forward(s, j);
+      if (close != std::string::npos) anon.emplace_back(j, close);
+    }
+    const auto in_anon = [&](size_t off) {
+      for (const auto& [b, e] : anon)
+        if (off > b && off < e) return true;
+      return false;
+    };
+
+    // Find `name(params) [qualifiers] {` definitions.
+    pos = 0;
+    while ((pos = s.find('(', pos)) != std::string::npos) {
+      const size_t open = pos++;
+      // Identifier directly before the `(`.
+      size_t e = open;
+      while (e > 0 && (s[e - 1] == ' ' || s[e - 1] == '\n')) --e;
+      size_t b = e;
+      while (b > 0 && ident_char(s[b - 1])) --b;
+      const std::string name = s.substr(b, e - b);
+      if (name.empty()) continue;
+      static constexpr std::string_view kKeywords[] = {
+          "if", "for", "while", "switch", "catch", "return", "sizeof",
+          "defined", "do", "assert"};
+      bool is_kw = false;
+      for (std::string_view k : kKeywords) is_kw |= name == k;
+      if (is_kw || name.rfind("APOLLO_", 0) == 0) continue;
+      const size_t close = match_forward(s, open);
+      if (close == std::string::npos) continue;
+      // Qualifiers between `)` and `{`: const/noexcept/override/final only.
+      size_t q = close + 1;
+      while (q < s.size()) {
+        const size_t t = s.find_first_not_of(" \n", q);
+        if (t == std::string::npos) break;
+        bool advanced = false;
+        for (std::string_view w : {"const", "noexcept", "override", "final"}) {
+          if (s.compare(t, w.size(), w) == 0) {
+            q = t + w.size();
+            advanced = true;
+            break;
+          }
+        }
+        if (!advanced) {
+          q = t;
+          break;
+        }
+      }
+      if (q >= s.size() || s[q] != '{') continue;
+      const std::string params = s.substr(open + 1, close - open - 1);
+      if (find_token(params, "Matrix") == std::string::npos &&
+          find_token(params, "ParamList") == std::string::npos)
+        continue;
+      if (in_anon(open)) continue;
+      // `static` helpers are internal; skip (statement start = after the
+      // previous ; { or }).
+      size_t stmt = b;
+      while (stmt > 0 && s[stmt - 1] != ';' && s[stmt - 1] != '{' &&
+             s[stmt - 1] != '}')
+        --stmt;
+      if (find_token(s.substr(stmt, b - stmt), "static") !=
+          std::string::npos)
+        continue;
+      const size_t body_end = match_forward(s, q);
+      if (body_end == std::string::npos) continue;
+      const std::string body = s.substr(q, body_end - q);
+      if (body.find("APOLLO_CHECK") != std::string::npos) {
+        pos = q;
+        continue;
+      }
+      emit(ft, flat.line_of(b), "check-shape-preconditions",
+           "'" + name +
+               "' takes Matrix/ParamList arguments but never "
+               "APOLLO_CHECKs its preconditions; add a shape/size check "
+               "or annotate why none is needed");
+      pos = q;
+    }
+  }
+
+  std::vector<Diagnostic>* out_;
+};
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+void print_rules() {
+  std::cout <<
+      "raw-thread                determinism: no std::thread/std::async/"
+      "OpenMP outside core/threadpool.*\n"
+      "raw-rng                   determinism: no rand()/random_device/"
+      "unseeded mt19937 outside tensor/rng.*\n"
+      "unordered-float-accum     determinism: no float accumulation over "
+      "unordered containers\n"
+      "pragma-once               hygiene: headers carry #pragma once\n"
+      "using-namespace-header    hygiene: no `using namespace` in headers\n"
+      "raw-new-delete            hygiene: no raw new/delete\n"
+      "printf-float-precision    hygiene: float printf in src/ pins "
+      "precision\n"
+      "check-shape-preconditions contract: optim/core entry points "
+      "APOLLO_CHECK their Matrix/ParamList inputs\n"
+      "Suppress with // lint:allow(rule-id) on or above the line, or "
+      "// lint:allow-file(rule-id).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: apollo-lint [--root DIR] [--list-rules] "
+                   "[subdir...]\n       (default subdirs: src tools bench "
+                   "tests)\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "apollo-lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      dirs.emplace_back(arg);
+    }
+  }
+  if (dirs.empty()) dirs = {"src", "tools", "bench", "tests"};
+
+  std::vector<fs::path> files;
+  for (const std::string& d : dirs) {
+    const fs::path base = root / d;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp" && ext != ".cc" && ext != ".hpp")
+        continue;
+      if (entry.path().string().find("build") != std::string::npos &&
+          entry.path().string().find("/build") != std::string::npos)
+        continue;
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Diagnostic> diags;
+  Linter linter(&diags);
+  int scanned = 0;
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::cerr << "apollo-lint: cannot read " << f << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    FileText ft;
+    ft.display_path = fs::relative(f, root).generic_string();
+    ft.is_header = f.extension() == ".h" || f.extension() == ".hpp";
+    strip_comments_and_strings(buf.str(), ft);
+    linter.lint(ft);
+    ++scanned;
+  }
+
+  std::sort(diags.begin(), diags.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  for (const Diagnostic& d : diags)
+    std::cout << d.file << ":" << d.line << ": " << d.rule << ": "
+              << d.message << "\n";
+  if (diags.empty()) {
+    std::cout << "apollo-lint: " << scanned << " files clean\n";
+    return 0;
+  }
+  std::cerr << "apollo-lint: " << diags.size() << " finding(s) in "
+            << scanned << " files\n";
+  return 1;
+}

@@ -5,7 +5,7 @@
 // weight quantization, checkpoint save/load and CSV curve logging.
 //
 //   $ apollo_train --optimizer apollo-mini --model 130m --steps 500
-//   $ apollo_train --optimizer apollo --rank 16 --data book.txt \
+//   $ apollo_train --optimizer apollo --rank 16 --data book.txt
 //         --steps 2000 --csv curve.csv --save model.ckpt
 //   $ apollo_train --list-optimizers
 #include <cstdio>
