@@ -34,6 +34,7 @@ Method apollo_variant(bool nl, float gamma, int freq, float scale) {
 }  // namespace
 
 int main() {
+  obs::BenchReport::open("ablation_design", quick_mode());
   const auto cfg = nn::llama_130m_proxy();
   const int nsteps = steps(350);
   std::printf("Design ablations — APOLLO on the 130M proxy (%d steps, "

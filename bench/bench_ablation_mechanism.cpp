@@ -16,6 +16,7 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport::open("ablation_mechanism", quick_mode());
   const auto cfg = nn::llama_130m_proxy();
   const int nsteps = steps(400);
   std::printf("Mechanism-resolved loss — 130M proxy, %d steps "

@@ -13,6 +13,7 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport::open("ablation_precision", quick_mode());
   const auto cfg = nn::llama_130m_proxy();
   const int nsteps = steps(350);
   std::printf("State-precision ablation — 130M proxy, %d steps\n", nsteps);

@@ -13,6 +13,7 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport::open("fig1_memory_breakdown", quick_mode());
   std::printf("Fig. 1 (middle) — LLaMA-7B memory breakdown at micro-batch 1 "
               "(GiB)\n");
   print_rule(96);

@@ -12,6 +12,9 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport& report =
+      obs::BenchReport::open("fig1_throughput", quick_mode());
+  report.note("figure", "Fig. 1 (right)");
   std::printf("Fig. 1 (right) — modeled end-to-end throughput, LLaMA-7B on "
               "8xA100-80GB, total batch 512 seq\n");
   print_rule(96);
@@ -48,6 +51,13 @@ int main() {
                 static_cast<long long>(t.micro_batch), t.cost.compute_s,
                 t.cost.projector_s, t.tokens_per_s,
                 t.tokens_per_s / adamw_tps);
+    report.add_row()
+        .col_str("method", row.label)
+        .col_int("micro_batch", t.micro_batch)
+        .col("compute_s", t.cost.compute_s)
+        .col("projector_s", t.cost.projector_s)
+        .col("tokens_per_s", t.tokens_per_s)
+        .col("speedup_vs_adamw", t.tokens_per_s / adamw_tps);
   }
   print_rule(96);
   std::printf("(micro-batch = sum over 8 GPUs; APOLLO's edge = 4x batch "

@@ -16,6 +16,7 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport::open("fig2_ppl_vs_time", quick_mode());
   const auto cfg = nn::llama_7b_proxy();
   const int nsteps = steps(600);
   const int eval_every = std::max(1, nsteps / 12);

@@ -61,6 +61,7 @@ float max_early_spike(const std::vector<float>& losses) {
 }  // namespace
 
 int main() {
+  obs::BenchReport::open("fig3_structured_lr", quick_mode());
   const int nsteps = steps(600);
   std::printf("Fig. 3 — structured learning-rate adaptation on the 130M "
               "proxy (%d steps)\n", nsteps);

@@ -28,6 +28,7 @@ double median(std::vector<double> v) {
 }  // namespace
 
 int main() {
+  obs::BenchReport::open("fig4_scaling_ratio", quick_mode());
   const auto cfg = nn::llama_350m_proxy();
   const int nsteps = steps(240);
   std::printf("Fig. 4 / Fig. 8 — channel scaling-factor ratio vs. theory on "

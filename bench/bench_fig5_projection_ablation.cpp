@@ -12,6 +12,7 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport::open("fig5_projection_ablation", quick_mode());
   std::printf("Fig. 5 (a-c) — SVD vs. random projection (rank = hidden/4; "
               "Mini rank 1)\n");
   print_rule(96);

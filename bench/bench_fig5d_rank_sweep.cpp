@@ -11,6 +11,7 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport::open("fig5d_rank_sweep", quick_mode());
   const auto cfg = nn::llama_60m_proxy();  // hidden 32 → full rank ladder 1…8
   const int nsteps = steps(250);
   std::printf("Fig. 5 (d) — rank sweep on the 60M proxy (hidden %d, "

@@ -11,6 +11,7 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport::open("fig6_training_curve", quick_mode());
   const auto cfg = nn::llama_350m_proxy();
   const int nsteps = steps(700);
   const int eval_every = std::max(1, nsteps / 14);

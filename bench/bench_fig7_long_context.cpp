@@ -12,6 +12,7 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport::open("fig7_long_context", quick_mode());
   nn::LlamaConfig cfg = nn::llama_350m_proxy();
   cfg.seq_len *= 4;  // 4× context, like the paper's 1024 vs. GaLore's 256
   const int nsteps = steps(300);

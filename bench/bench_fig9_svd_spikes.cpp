@@ -18,6 +18,9 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport& report =
+      obs::BenchReport::open("fig9_svd_spikes", quick_mode());
+  report.note("figure", "Fig. 9");
   const auto cfg = nn::llama_350m_proxy();
   const int nsteps = steps(100);
   const int refresh = 25;
@@ -83,6 +86,17 @@ int main() {
   };
   const auto [gmax, gmean] = stats(galore_ms);
   const auto [amax, amean] = stats(apollo_ms);
+  report.scalar("galore_mean_ms", gmean);
+  report.scalar("galore_max_ms", gmax);
+  report.scalar("galore_spike_ratio", gmax / gmean);
+  report.scalar("apollo_mean_ms", amean);
+  report.scalar("apollo_max_ms", amax);
+  report.scalar("apollo_spike_ratio", amax / amean);
+  for (int s = 0; s < nsteps; ++s)
+    report.add_row()
+        .col_int("step", s)
+        .col("galore_ms", galore_ms[static_cast<size_t>(s)])
+        .col("apollo_ms", apollo_ms[static_cast<size_t>(s)]);
   print_rule(96);
   std::printf("GaLore: mean %.2f ms, max %.2f ms (spike ratio %.1fx)\n",
               gmean, gmax, gmax / gmean);

@@ -4,11 +4,14 @@
 // and the training-stack primitives.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "core/apollo.h"
 #include "data/corpus.h"
 #include "linalg/projection.h"
 #include "linalg/svd.h"
 #include "nn/llama.h"
+#include "obs/bench_report.h"
 #include "optim/adamw.h"
 #include "optim/galore.h"
 #include "quant/quant.h"
@@ -134,4 +137,36 @@ BENCHMARK(BM_TrainStep350MProxy);
 }  // namespace
 }  // namespace apollo
 
-BENCHMARK_MAIN();
+namespace {
+
+// Mirror every benchmark run into the shared BENCH_ artifact alongside the
+// normal console table.
+class ReportAdapter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    apollo::obs::BenchReport* rep = apollo::obs::BenchReport::current();
+    if (rep == nullptr) return;
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      rep->add_row()
+          .col_str("name", run.benchmark_name())
+          .col("real_time_ns", run.GetAdjustedRealTime())
+          .col("cpu_time_ns", run.GetAdjustedCPUTime())
+          .col_int("iterations", run.iterations);
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  apollo::obs::BenchReport::open(
+      "micro_kernels", std::getenv("APOLLO_BENCH_QUICK") != nullptr);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ReportAdapter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

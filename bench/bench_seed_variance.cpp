@@ -13,6 +13,7 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport::open("seed_variance", quick_mode());
   const auto cfg = nn::llama_130m_proxy();
   const int nsteps = steps(350);
   const uint64_t seeds[] = {42, 1337, 271828};

@@ -33,6 +33,7 @@ void cross_check(const char* label, const Method& method,
 }  // namespace
 
 int main() {
+  obs::BenchReport::open("table1_memory_formulas", quick_mode());
   std::printf("Table 1 — optimizer-state memory formulas (per m x n weight, "
               "m <= n, rank r)\n");
   print_rule(96);

@@ -45,6 +45,9 @@ sysmodel::MethodSpec method_spec(const std::string& name, int64_t hidden) {
 }  // namespace
 
 int main() {
+  obs::BenchReport& report =
+      obs::BenchReport::open("table2_pretrain", quick_mode());
+  report.note("figure", "Table 2");
   std::printf("Table 2 — pre-training perplexity vs. memory "
               "(nano proxies on synthetic C4; memory at paper scale)\n");
   print_rule();

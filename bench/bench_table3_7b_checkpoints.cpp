@@ -14,6 +14,7 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport::open("table3_7b_checkpoints", quick_mode());
   const auto cfg = nn::llama_7b_proxy();
   const int nsteps = steps(600);
   const int eval_every = nsteps / 4;

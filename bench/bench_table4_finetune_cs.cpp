@@ -13,6 +13,7 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport::open("table4_finetune_cs", quick_mode());
   const auto cfg = nn::llama_130m_proxy();
   const int pretrain_steps = steps(600);
   const int ft_steps = steps(240);

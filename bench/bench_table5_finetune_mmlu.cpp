@@ -11,6 +11,7 @@ using namespace apollo;
 using namespace apollo::bench;
 
 int main() {
+  obs::BenchReport::open("table5_finetune_mmlu", quick_mode());
   const auto cfg = nn::llama_130m_proxy();
   const int pretrain_steps = steps(600);
   const int ft_steps = steps(200);

@@ -32,6 +32,7 @@ double run_quantized(const Method& method, const nn::LlamaConfig& cfg,
 }  // namespace
 
 int main() {
+  obs::BenchReport::open("table6_quantized", quick_mode());
   std::printf("Table 6 — INT8 weight-quantized pre-training (group 128, "
               "stochastic rounding)\n");
   print_rule(110);

@@ -29,6 +29,7 @@ Method apollo_with(core::ScalingGranularity g, optim::ProjKind proj) {
 }  // namespace
 
 int main() {
+  obs::BenchReport::open("table7_granularity", quick_mode());
   std::printf("Table 7 — scaling-factor granularity ablation "
               "(rank = hidden/4)\n");
   print_rule(96);

@@ -4,7 +4,7 @@
 //
 // Honest-measurement note: speedups only materialize up to the machine's
 // physical core count — on a 1-core container every row measures the pool's
-// oversubscription overhead, not parallel speedup. The JSON therefore
+// oversubscription overhead, not parallel speedup. The BENCH_ artifact
 // records hardware_threads so downstream plots can annotate the ceiling.
 #include <chrono>
 #include <cstdio>
@@ -54,6 +54,8 @@ RunResult timed_run(int threads, int train_steps) {
 }  // namespace
 
 int main() {
+  obs::BenchReport& report =
+      obs::BenchReport::open("threads_scaling", quick_mode());
   const int train_steps = steps(120);
   const int hw = [] {
     core::set_thread_count(0);
@@ -79,8 +81,19 @@ int main() {
                 results[i].seconds, results[i].tokens_per_s,
                 results[i].tokens_per_s / base_tps,
                 identical ? "yes" : "NO");
+    report.add_row()
+        .col_int("threads", counts[i])
+        .col("seconds", results[i].seconds)
+        .col("tokens_per_s", results[i].tokens_per_s)
+        .col("speedup", results[i].tokens_per_s / base_tps)
+        .col_int("bit_exact", identical ? 1 : 0);
   }
   print_rule(64);
+  report.note("model", "llama_60m_proxy");
+  report.note("optimizer", "apollo");
+  report.scalar_int("steps", train_steps);
+  report.scalar_int("hardware_threads", hw);
+  report.scalar_int("loss_curves_bit_identical", all_identical ? 1 : 0);
   if (!all_identical) {
     std::printf("DETERMINISM VIOLATION: loss curves diverged across thread "
                 "counts\n");
@@ -89,22 +102,6 @@ int main() {
   std::printf("(loss curves bit-identical across all thread counts; speedup "
               "is capped by the %d hardware thread%s available here)\n", hw,
               hw == 1 ? "" : "s");
-
-  FILE* f = std::fopen("bench_threads_scaling.json", "w");
-  if (f != nullptr) {
-    std::fprintf(f, "{\n  \"model\": \"llama_60m_proxy\",\n"
-                 "  \"optimizer\": \"apollo\",\n  \"steps\": %d,\n"
-                 "  \"hardware_threads\": %d,\n  \"runs\": [\n", train_steps,
-                 hw);
-    for (int i = 0; i < 4; ++i)
-      std::fprintf(f,
-                   "    {\"threads\": %d, \"seconds\": %.4f, "
-                   "\"tokens_per_s\": %.1f, \"speedup\": %.3f}%s\n",
-                   counts[i], results[i].seconds, results[i].tokens_per_s,
-                   results[i].tokens_per_s / base_tps, i < 3 ? "," : "");
-    std::fprintf(f, "  ],\n  \"loss_curves_bit_identical\": true\n}\n");
-    std::fclose(f);
-    std::printf("wrote bench_threads_scaling.json\n");
-  }
+  std::printf("writing BENCH_threads_scaling.json\n");
   return 0;
 }

@@ -21,6 +21,7 @@
 
 #include "core/apollo.h"
 #include "core/structured_adamw.h"
+#include "obs/bench_report.h"
 #include "optim/adam8bit.h"
 #include "optim/adam_mini.h"
 #include "optim/adamw.h"
@@ -218,6 +219,19 @@ inline PretrainRun run_pretrain(const Method& method,
   PretrainRun out;
   out.result = trainer.run();
   out.state_bytes = opt->state_bytes();
+  // Every pre-training run lands as one row in the bench's JSON artifact
+  // (when the bench opened one) — the machine-readable mirror of the text
+  // tables, consumed by CI and the perf trajectory.
+  if (obs::BenchReport* rep = obs::BenchReport::current()) {
+    rep->add_row()
+        .col_str("method", method.name)
+        .col_int("steps", train_steps)
+        .col_int("hidden", model_cfg.hidden)
+        .col("lr", method.lr)
+        .col("final_ppl", out.result.final_perplexity)
+        .col_int("state_bytes", out.state_bytes)
+        .col_int("peak_activation_bytes", out.result.peak_activation_bytes);
+  }
   return out;
 }
 

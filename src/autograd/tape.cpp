@@ -2,6 +2,9 @@
 // in ops_nn.cpp and ops_attention.cpp.
 #include "autograd/tape.h"
 
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "tensor/finite.h"
 #include "tensor/ops.h"
 
@@ -62,7 +65,17 @@ int64_t Tape::activation_bytes() const {
 
 void Tape::backward(Var loss, float seed) {
   APOLLO_CHECK_MSG(value(loss).size() == 1, "loss must be a scalar");
+  APOLLO_TRACE_SCOPE("Tape::backward", "autograd");
   const bool finite_mode = finite_checks_enabled();
+  const bool trace_mode = obs::trace_enabled();
+  if (obs::telemetry_enabled()) {
+    static obs::Counter& ops =
+        obs::Registry::instance().counter("autograd.backward.ops");
+    static obs::Counter& passes =
+        obs::Registry::instance().counter("autograd.backward.passes");
+    ops.add(static_cast<int64_t>(nodes_.size()));
+    passes.add(1);
+  }
   grad(loss).fill(seed);
   for (int32_t id = loss.id; id >= 0; --id) {
     Node& n = nodes_[static_cast<size_t>(id)];
@@ -73,7 +86,12 @@ void Tape::backward(Var loss, float seed) {
     // accumulated here — the per-op checkpoint of the numeric-safety mode.
     if (finite_mode)
       check_finite_or_die(grad(Var{id}), n.op, "autograd backward");
-    if (n.backward) n.backward(*this);
+    if (n.backward) {
+      // Per-op slice: node op names are string literals, safe to store.
+      if (trace_mode) obs::trace_begin(n.op, "autograd");
+      n.backward(*this);
+      if (trace_mode) obs::trace_end(n.op, "autograd");
+    }
   }
 }
 

@@ -4,6 +4,9 @@
 
 #include "core/threadpool.h"
 #include "linalg/svd.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
@@ -22,7 +25,10 @@ Apollo::Apollo(const ApolloConfig& cfg, std::string display_name)
 }
 
 void Apollo::step(const nn::ParamList& params) {
+  APOLLO_TRACE_SCOPE("Apollo::step", "optim");
   ++t_;
+  const bool telemetry = obs::telemetry_enabled();
+  StepStats stats;
   for (nn::Parameter* p : params) {
     APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
     // Rank-1 auxiliary space is meaningful for any matrix, so only 1-D
@@ -33,12 +39,23 @@ void Apollo::step(const nn::ParamList& params) {
       dense_.update(p, p->value, p->grad, lr_, t_);
       continue;
     }
-    update_matrix_param(p);
+    update_matrix_param(p, telemetry ? &stats : nullptr);
+  }
+  if (telemetry) {
+    obs::Telemetry& tel = obs::telemetry();
+    tel.set("opt.clip_fraction",
+            stats.sites > 0 ? static_cast<double>(stats.clipped) /
+                                  static_cast<double>(stats.sites)
+                            : 0.0);
+    tel.set_int("opt.proj_refreshes", stats.refreshes);
+    obs::Registry::instance()
+        .counter("optim.apollo.proj_refreshes")
+        .add(stats.refreshes);
   }
   optim::check_step_finite(params, display_name_);
 }
 
-void Apollo::update_matrix_param(nn::Parameter* p) {
+void Apollo::update_matrix_param(nn::Parameter* p, StepStats* stats) {
   State& s = states_[p];
   const Matrix& g = p->grad;
   const int64_t r = cfg_.rank;
@@ -49,6 +66,8 @@ void Apollo::update_matrix_param(nn::Parameter* p) {
   }
   const bool refresh = s.local_t % cfg_.update_freq == 0;
   ++s.local_t;
+  if (refresh && obs::trace_enabled())
+    obs::trace_instant("proj_refresh", "optim");
 
   // Step 1: project the gradient into the rank-r auxiliary space.
   Matrix rg;
@@ -116,7 +135,16 @@ void Apollo::update_matrix_param(nn::Parameter* p) {
     scale_inplace(update, sf);
   }
 
-  if (cfg_.use_norm_limiter) s.limiter.apply(update);
+  const bool clipped = cfg_.use_norm_limiter ? s.limiter.apply(update) : false;
+  if (stats != nullptr) {
+    ++stats->sites;
+    if (clipped) ++stats->clipped;
+    if (refresh) ++stats->refreshes;
+    // Distribution of the structured scaling factors s_j (Fig. 4 / Fig. 8):
+    // committed per step as s_min / s_med / s_max / s_n.
+    obs::telemetry().sample("opt.s", s.last_scaling.data(),
+                            s.last_scaling.size());
+  }
 
   // Step 4: update the weight in the original space (decoupled decay).
   const float wd = cfg_.hyper.weight_decay;

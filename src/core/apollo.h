@@ -102,7 +102,15 @@ class Apollo : public optim::Optimizer {
     std::vector<float> last_scaling;  // instrumentation
   };
 
-  void update_matrix_param(nn::Parameter* p);
+  // Per-step telemetry aggregated across matrix parameters (only filled
+  // when APOLLO_METRICS is active).
+  struct StepStats {
+    int64_t sites = 0;      // matrix params updated this step
+    int64_t clipped = 0;    // norm-growth limiter activations
+    int64_t refreshes = 0;  // projector re-seeds / SVD refreshes
+  };
+
+  void update_matrix_param(nn::Parameter* p, StepStats* stats);
 
   ApolloConfig cfg_;
   std::string display_name_;

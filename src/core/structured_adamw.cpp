@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
@@ -17,6 +18,7 @@ std::string StructuredAdamW::name() const {
 }
 
 void StructuredAdamW::step(const nn::ParamList& params) {
+  APOLLO_TRACE_SCOPE("StructuredAdamW::step", "optim");
   ++t_;
   const float b1 = cfg_.hyper.beta1, b2 = cfg_.hyper.beta2;
   for (nn::Parameter* p : params) {

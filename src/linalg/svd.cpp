@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace apollo {
@@ -89,6 +90,8 @@ SvdResult svd_tall(const Matrix& a, int max_sweeps, float tol) {
 
 SvdResult svd(const Matrix& a, int max_sweeps, float tol) {
   APOLLO_CHECK(!a.empty());
+  // The Fig. 9 story in one slice: SVD refreshes are the throughput spikes.
+  APOLLO_TRACE_SCOPE("svd", "linalg");
   if (a.rows() >= a.cols()) return svd_tall(a, max_sweeps, tol);
   // A = U Σ Vᵀ  ⇔  Aᵀ = V Σ Uᵀ: run on the transpose and swap factors.
   SvdResult t = svd_tall(a.transposed(), max_sweeps, tol);

@@ -1,0 +1,138 @@
+#include "obs/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "obs/json_writer.h"
+
+namespace apollo::obs {
+
+namespace {
+std::unique_ptr<BenchReport>& slot() {
+  static std::unique_ptr<BenchReport> report;
+  return report;
+}
+
+void write_at_exit() {
+  if (slot() != nullptr) slot()->write();
+}
+}  // namespace
+
+BenchReport::Row& BenchReport::Row::col(const std::string& key, double v) {
+  std::string json;
+  json_append_double(json, v);
+  cells_.push_back(Cell{key, std::move(json)});
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::col_int(const std::string& key,
+                                            int64_t v) {
+  std::string json;
+  json_append_int(json, v);
+  cells_.push_back(Cell{key, std::move(json)});
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::col_str(const std::string& key,
+                                            const std::string& v) {
+  std::string json;
+  json_append_escaped(json, v.c_str());
+  cells_.push_back(Cell{key, std::move(json)});
+  return *this;
+}
+
+BenchReport::BenchReport(std::string name, bool quick)
+    : name_(std::move(name)), quick_(quick) {
+  const char* dir = std::getenv("APOLLO_BENCH_DIR");
+  path_ = dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : "";
+  path_ += "BENCH_" + name_ + ".json";
+}
+
+BenchReport& BenchReport::open(const std::string& name, bool quick) {
+  slot() = std::make_unique<BenchReport>(name, quick);
+  static const bool registered = [] {
+    std::atexit(write_at_exit);
+    return true;
+  }();
+  (void)registered;
+  return *slot();
+}
+
+BenchReport* BenchReport::current() { return slot().get(); }
+
+void BenchReport::scalar(const std::string& key, double v) {
+  std::string json;
+  json_append_double(json, v);
+  scalars_.emplace_back(key, std::move(json));
+}
+
+void BenchReport::scalar_int(const std::string& key, int64_t v) {
+  std::string json;
+  json_append_int(json, v);
+  scalars_.emplace_back(key, std::move(json));
+}
+
+void BenchReport::note(const std::string& key, const std::string& v) {
+  notes_.emplace_back(key, v);
+}
+
+BenchReport::Row& BenchReport::add_row() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+bool BenchReport::write() const {
+  std::string out = "{\n  \"bench\": ";
+  json_append_escaped(out, name_.c_str());
+  out += ",\n  \"schema_version\": 1,\n  \"quick_mode\": ";
+  out += quick_ ? "true" : "false";
+
+  out += ",\n  \"scalars\": {";
+  for (size_t i = 0; i < scalars_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "\n    ";
+    json_append_escaped(out, scalars_[i].first.c_str());
+    out += ": ";
+    out += scalars_[i].second;
+  }
+  out += scalars_.empty() ? "}" : "\n  }";
+
+  out += ",\n  \"notes\": {";
+  for (size_t i = 0; i < notes_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "\n    ";
+    json_append_escaped(out, notes_[i].first.c_str());
+    out += ": ";
+    json_append_escaped(out, notes_[i].second.c_str());
+  }
+  out += notes_.empty() ? "}" : "\n  }";
+
+  out += ",\n  \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out.push_back(',');
+    out += "\n    {";
+    const auto& cells = rows_[r].cells_;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += ", ";
+      json_append_escaped(out, cells[c].key.c_str());
+      out += ": ";
+      out += cells[c].json;
+    }
+    out.push_back('}');
+  }
+  out += rows_.empty() ? "]" : "\n  ]";
+  out += "\n}\n";
+
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReport: cannot open %s for writing\n",
+                 path_.c_str());
+    return false;
+  }
+  const bool ok = std::fputs(out.c_str(), f) >= 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace apollo::obs

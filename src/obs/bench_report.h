@@ -1,0 +1,78 @@
+// Machine-readable bench artifacts: every bench binary opens a BenchReport
+// at the top of main() and a `BENCH_<name>.json` file is written at exit —
+// the repo's perf trajectory is populated from these artifacts rather than
+// scraped from stdout (see EXPERIMENTS.md "Regenerating the numbers").
+//
+// Shape of the artifact:
+//   {
+//     "bench": "table2_pretrain",
+//     "schema_version": 1,
+//     "quick_mode": false,
+//     "scalars": { "<key>": <number>, ... },
+//     "notes":   { "<key>": "<string>", ... },
+//     "rows":    [ { "<col>": <number|string>, ... }, ... ]
+//   }
+//
+// Rows are flat records (one per table line / measured configuration);
+// scalars hold run-level headline numbers (spike ratios, speedups, …). The
+// output directory defaults to the working directory and can be redirected
+// with APOLLO_BENCH_DIR (see docs/ENVVARS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apollo::obs {
+
+class BenchReport {
+ public:
+  // One flat record; columns keep insertion order.
+  class Row {
+   public:
+    Row& col(const std::string& key, double v);
+    Row& col_int(const std::string& key, int64_t v);
+    Row& col_str(const std::string& key, const std::string& v);
+
+   private:
+    friend class BenchReport;
+    struct Cell {
+      std::string key;
+      std::string json;  // pre-rendered value
+    };
+    std::vector<Cell> cells_;
+  };
+
+  // Install the process-wide report (writes BENCH_<name>.json at exit, or
+  // on an explicit write()). `quick` flags APOLLO_BENCH_QUICK runs so
+  // downstream tooling never mixes full and quick numbers.
+  static BenchReport& open(const std::string& name, bool quick);
+  // The installed report, or nullptr when no bench opened one (library code
+  // must tolerate both).
+  static BenchReport* current();
+
+  void scalar(const std::string& key, double v);
+  void scalar_int(const std::string& key, int64_t v);
+  void note(const std::string& key, const std::string& v);
+  Row& add_row();
+
+  // Render and write the artifact now; returns false on I/O failure.
+  // Idempotent — the at-exit hook rewrites with whatever accumulated.
+  bool write() const;
+
+  const std::string& path() const { return path_; }
+
+  // Prefer open(); public so the registration slot can make_unique it.
+  BenchReport(std::string name, bool quick);
+
+ private:
+  std::string name_;
+  std::string path_;
+  bool quick_;
+  std::vector<std::pair<std::string, std::string>> scalars_;  // key → json
+  std::vector<std::pair<std::string, std::string>> notes_;    // key → raw
+  std::vector<Row> rows_;
+};
+
+}  // namespace apollo::obs

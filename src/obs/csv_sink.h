@@ -1,26 +1,33 @@
-// Minimal CSV run logger: writes a header once, then one row per call.
-// Used by benches/examples to emit plot-ready training curves.
+// Minimal CSV sink: writes a header once, then one row per call.
+//
+// This is the CSV face of the observability layer (the JSONL face is
+// obs/telemetry.h) — it subsumes the old train/csv_logger.h so the repo has
+// exactly one logging path. Used by apollo-train's --csv flag and any
+// example that wants a plot-ready curve file.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "tensor/check.h"
+namespace apollo::obs {
 
-namespace apollo::train {
-
-class CsvLogger {
+class CsvSink {
  public:
   // Opens (truncates) `path` and writes the header row. An empty path
-  // disables logging (all calls become no-ops) so callers can thread an
-  // optional logger without branching.
-  CsvLogger(const std::string& path, const std::vector<std::string>& columns)
+  // disables the sink (all calls become no-ops) so callers can thread an
+  // optional sink without branching.
+  CsvSink(const std::string& path, const std::vector<std::string>& columns)
       : n_cols_(columns.size()) {
     if (path.empty()) return;
     file_.reset(std::fopen(path.c_str(), "w"));
-    APOLLO_CHECK_MSG(file_ != nullptr, "CsvLogger: cannot open file");
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "CsvSink: cannot open %s for writing\n",
+                   path.c_str());
+      std::abort();
+    }
     for (size_t i = 0; i < columns.size(); ++i)
       std::fprintf(file_.get(), "%s%s", columns[i].c_str(),
                    i + 1 < columns.size() ? "," : "\n");
@@ -30,7 +37,11 @@ class CsvLogger {
 
   void row(const std::vector<double>& values) {
     if (!file_) return;
-    APOLLO_CHECK(values.size() == n_cols_);
+    if (values.size() != n_cols_) {
+      std::fprintf(stderr, "CsvSink: row has %zu values, header has %zu\n",
+                   values.size(), n_cols_);
+      std::abort();
+    }
     for (size_t i = 0; i < values.size(); ++i)
       std::fprintf(file_.get(), "%.6g%s", values[i],
                    i + 1 < values.size() ? "," : "\n");
@@ -47,4 +58,4 @@ class CsvLogger {
   size_t n_cols_;
 };
 
-}  // namespace apollo::train
+}  // namespace apollo::obs

@@ -1,0 +1,119 @@
+// Minimal JSON emission helpers shared by every observability sink (metrics
+// registry export, chrome-trace writer, per-step telemetry, BENCH_*.json
+// reports). Writing only — the repo has no JSON *parsing* dependency; the
+// validation side lives in tests/obs_test.cpp and the CI checker.
+//
+// Numbers are formatted with pinned precision ("%.17g" round-trips every
+// double bit-exactly), so two processes that observed the same values emit
+// byte-identical files — the property the determinism tests assert.
+// Non-finite doubles have no JSON representation and are emitted as null.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace apollo::obs {
+
+inline void json_append_escaped(std::string& out, const char* s) {
+  out.push_back('"');
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+inline void json_append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  // Prefer the shortest representation that round-trips; fall back to the
+  // always-exact 17 significant digits.
+  std::snprintf(buf, sizeof buf, "%.15g", v);
+  double back = 0;
+  std::sscanf(buf, "%lf", &back);
+  if (back != v) std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+inline void json_append_int(std::string& out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+// Incremental object/array builder for flat records:
+//   JsonObject o; o.field("step", 3); o.field("loss", 1.5); o.str() == {...}
+class JsonObject {
+ public:
+  JsonObject() { out_.push_back('{'); }
+
+  JsonObject& field(const char* key, double v) {
+    key_(key);
+    json_append_double(out_, v);
+    return *this;
+  }
+  JsonObject& field_int(const char* key, int64_t v) {
+    key_(key);
+    json_append_int(out_, v);
+    return *this;
+  }
+  JsonObject& field_str(const char* key, const char* v) {
+    key_(key);
+    json_append_escaped(out_, v);
+    return *this;
+  }
+  JsonObject& field_bool(const char* key, bool v) {
+    key_(key);
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  // Verbatim JSON (caller guarantees validity) — nested arrays/objects.
+  JsonObject& field_raw(const char* key, const std::string& json) {
+    key_(key);
+    out_ += json;
+    return *this;
+  }
+
+  // Finalized text; the object is closed exactly once.
+  const std::string& str() {
+    if (!closed_) {
+      out_.push_back('}');
+      closed_ = true;
+    }
+    return out_;
+  }
+
+ private:
+  void key_(const char* key) {
+    if (!first_) out_.push_back(',');
+    first_ = false;
+    json_append_escaped(out_, key);
+    out_.push_back(':');
+  }
+
+  std::string out_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+}  // namespace apollo::obs

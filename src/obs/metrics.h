@@ -1,0 +1,130 @@
+// Process-wide metrics registry: counters, gauges, and histograms with
+// fixed log-spaced buckets.
+//
+// Hot-path contract: mutation is lock-free — every metric holds a small
+// array of cache-line-padded shards and a thread picks its shard once
+// (thread-local), so concurrent writers never contend on a lock or a shared
+// cache line. Reads (export) merge the shards in ascending shard order,
+// which makes the merge deterministic:
+//   * counter values and histogram bucket counts are integers, so the merge
+//     is exact and order-independent for ANY thread count;
+//   * histogram `sum` is a double — exact whenever the observed values are
+//     integer-valued (or observed by a single thread); instrumentation that
+//     needs bit-exact sums across APOLLO_THREADS settings must observe from
+//     outside parallel regions, mirroring the thread pool's rule that
+//     whole-tensor reductions stay sequential.
+//
+// Registration (`Registry::counter("name")` etc.) takes a mutex but returns
+// a stable reference — hot sites look a metric up once and cache it.
+// Export is JSON-lines, one metric per line, sorted by name (see
+// docs/OBSERVABILITY.md for the schema).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace apollo::obs {
+
+// Shard slot for the calling thread, in [0, kMetricShards). Stable for the
+// thread's lifetime; assigned round-robin on first use.
+inline constexpr int kMetricShards = 16;
+int metric_shard_index();
+
+namespace detail {
+struct alignas(64) PaddedI64 {
+  std::atomic<int64_t> v{0};
+};
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(int64_t n = 1) {
+    shards_[metric_shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const;
+  void reset();
+
+ private:
+  std::array<detail::PaddedI64, kMetricShards> shards_;
+};
+
+// Last-writer-wins scalar (learning rate, live byte counts, …).
+class Gauge {
+ public:
+  void set(double v) { bits_.store(pack_(v), std::memory_order_relaxed); }
+  double value() const;
+  void reset() { bits_.store(pack_(0.0), std::memory_order_relaxed); }
+
+ private:
+  static uint64_t pack_(double v);
+  static double unpack_(uint64_t b);
+  std::atomic<uint64_t> bits_{0};
+};
+
+// Histogram over (0, ∞) with fixed log-spaced buckets: bucket 0 is the
+// underflow bucket (v ≤ 1e-9, including zero, negatives and NaN), buckets
+// 1…60 have upper edges 1e-9·10^(i/4) — four buckets per decade from 1e-9
+// to 1e6 — and bucket 61 catches overflow. The edges are compile-time
+// constants of the schema, asserted by tests/obs_test.cpp.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 62;
+  static constexpr double kMinEdge = 1e-9;
+  static constexpr double kMaxEdge = 1e6;
+
+  // Upper edge of bucket i (inclusive), for i in [0, kBuckets-2]; the last
+  // bucket is unbounded.
+  static double bucket_upper(int i);
+  // Bucket that `v` lands in.
+  static int bucket_index(double v);
+
+  void observe(double v);
+
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0;
+    double min = 0;  // meaningful only when count > 0
+    double max = 0;
+    std::array<int64_t, kBuckets> buckets{};
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};     // double, CAS-accumulated
+    std::atomic<uint64_t> min_bits{0};     // valid when count_for_minmax > 0
+    std::atomic<uint64_t> max_bits{0};
+    std::atomic<int64_t> minmax_init{0};
+    std::array<std::atomic<int64_t>, kBuckets> buckets{};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// Name → metric registry. Lookup creates on first use; references stay
+// valid for the life of the process (reset() zeroes values in place, it
+// never removes metrics).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // JSON-lines snapshot of every registered metric, sorted by name.
+  std::string export_jsonl() const;
+
+  // Zero every metric (tests / per-run isolation). References stay valid.
+  void reset();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace apollo::obs

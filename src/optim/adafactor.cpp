@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/threadpool.h"
+#include "obs/trace.h"
 #include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
@@ -22,6 +23,7 @@ float rms(const Matrix& m) {
 }  // namespace
 
 void Adafactor::step(const nn::ParamList& params) {
+  APOLLO_TRACE_SCOPE("Adafactor::step", "optim");
   ++t_;
   for (nn::Parameter* p : params) {
     APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);

@@ -8,6 +8,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "optim/finite_guard.h"
 #include "optim/optimizer.h"
 #include "quant/quant.h"
@@ -19,6 +20,7 @@ class Adam8bit : public Optimizer {
   explicit Adam8bit(const AdamHyper& hp = {}) : hp_(hp) {}
 
   void step(const nn::ParamList& params) override {
+    APOLLO_TRACE_SCOPE("Adam8bit::step", "optim");
     ++t_;
     const float b1 = hp_.beta1, b2 = hp_.beta2;
     const float bc1 = 1.f - std::pow(b1, static_cast<float>(t_));

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "optim/finite_guard.h"
 #include "optim/optimizer.h"
 #include "tensor/matrix.h"
@@ -22,6 +23,7 @@ class AdamMini : public Optimizer {
   explicit AdamMini(const AdamHyper& hp = {}) : hp_(hp) {}
 
   void step(const nn::ParamList& params) override {
+    APOLLO_TRACE_SCOPE("AdamMini::step", "optim");
     ++t_;
     const float b1 = hp_.beta1, b2 = hp_.beta2;
     const float bc1 = 1.f - std::pow(b1, static_cast<float>(t_));

@@ -1,6 +1,7 @@
 // Full-rank AdamW (Loshchilov & Hutter) — the paper's primary baseline.
 #pragma once
 
+#include "obs/trace.h"
 #include "optim/dense_adam.h"
 #include "optim/finite_guard.h"
 
@@ -11,6 +12,7 @@ class AdamW : public Optimizer {
   explicit AdamW(const AdamHyper& hp = {}) : core_(hp) {}
 
   void step(const nn::ParamList& params) override {
+    APOLLO_TRACE_SCOPE("AdamW::step", "optim");
     ++t_;
     for (nn::Parameter* p : params) {
       APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);

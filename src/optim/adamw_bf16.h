@@ -9,6 +9,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "optim/finite_guard.h"
 #include "optim/optimizer.h"
 #include "quant/bf16.h"
@@ -20,6 +21,7 @@ class AdamWBf16 : public Optimizer {
   explicit AdamWBf16(const AdamHyper& hp = {}) : hp_(hp) {}
 
   void step(const nn::ParamList& params) override {
+    APOLLO_TRACE_SCOPE("AdamWBf16::step", "optim");
     ++t_;
     const float b1 = hp_.beta1, b2 = hp_.beta2;
     const float bc1 = 1.f - std::pow(b1, static_cast<float>(t_));

@@ -4,6 +4,9 @@
 
 #include "core/threadpool.h"
 #include "linalg/svd.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
@@ -16,6 +19,7 @@ GaLore::GaLore(const GaloreConfig& cfg, std::string display_name)
 }
 
 void GaLore::step(const nn::ParamList& params) {
+  APOLLO_TRACE_SCOPE("GaLore::step", "optim");
   ++t_;
   for (nn::Parameter* p : params) {
     APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
@@ -42,6 +46,13 @@ void GaLore::update_matrix_param(nn::Parameter* p) {
   }
   const bool refresh = s.local_t % cfg_.update_freq == 0;
   ++s.local_t;
+  if (refresh) {
+    if (obs::trace_enabled()) obs::trace_instant("proj_refresh", "optim");
+    if (obs::telemetry_enabled())
+      obs::Registry::instance()
+          .counter("optim.galore.proj_refreshes")
+          .add(1);
+  }
 
   // --- projector ----------------------------------------------------------
   // GoLore mode: fall back to random projections once the switch point is
@@ -131,7 +142,9 @@ void GaLore::update_matrix_param(nn::Parameter* p) {
       scale_cols_inplace(residual, phi);
     else
       scale_rows_inplace(residual, phi);
-    s.limiter.apply(residual);
+    const bool clipped = s.limiter.apply(residual);
+    if (clipped && obs::telemetry_enabled())
+      obs::Registry::instance().counter("optim.fira.limiter_clips").add(1);
     add_inplace(update, residual);
   }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/svd.h"
+#include "obs/trace.h"
 #include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
@@ -73,6 +74,7 @@ void LowRankAdapter::recompose(nn::Parameter* p, State& s) {
 }
 
 void LowRankAdapter::step(const nn::ParamList& params) {
+  APOLLO_TRACE_SCOPE("LowRankAdapter::step", "optim");
   ++t_;
   for (nn::Parameter* p : params) {
     APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);

@@ -16,16 +16,18 @@ class NormGrowthLimiter {
   explicit NormGrowthLimiter(float gamma = 1.01f) : gamma_(gamma) {}
 
   // Rescales `g` in place if its norm grew faster than γ; updates the
-  // tracked norm either way.
-  void apply(Matrix& g) {
+  // tracked norm either way. Returns true when the update was clipped, so
+  // callers can report a clip fraction without recomputing norms.
+  bool apply(Matrix& g) {
     APOLLO_CHECK_GT(g.size(), 0);
     const double n = frobenius_norm(g);
     if (prev_ > 0.0 && n > gamma_ * prev_ && n > 0.0) {
       scale_inplace(g, static_cast<float>(gamma_ * prev_ / n));
       prev_ = gamma_ * prev_;
-    } else {
-      prev_ = n;
+      return true;
     }
+    prev_ = n;
+    return false;
   }
 
   double tracked_norm() const { return prev_; }

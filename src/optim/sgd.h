@@ -7,6 +7,7 @@
 
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "optim/finite_guard.h"
 #include "optim/optimizer.h"
 #include "tensor/ops.h"
@@ -19,6 +20,7 @@ class Sgd : public Optimizer {
       : momentum_(momentum), weight_decay_(weight_decay) {}
 
   void step(const nn::ParamList& params) override {
+    APOLLO_TRACE_SCOPE("Sgd::step", "optim");
     ++t_;
     for (nn::Parameter* p : params) {
       APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);

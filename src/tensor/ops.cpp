@@ -4,10 +4,27 @@
 #include <cmath>
 
 #include "core/threadpool.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace apollo {
 
 namespace {
+
+// Metric hook for the matmul family: one cached-flag branch when
+// APOLLO_METRICS is off; counters are looked up once and cached per site.
+#define APOLLO_MATMUL_METRICS(kernel, flops)                             \
+  do {                                                                   \
+    if (obs::telemetry_enabled()) {                                      \
+      static obs::Counter& calls_ =                                      \
+          obs::Registry::instance().counter("tensor." kernel ".calls");  \
+      static obs::Counter& flops_ =                                      \
+          obs::Registry::instance().counter("tensor." kernel ".flops");  \
+      calls_.add(1);                                                     \
+      flops_.add(flops);                                                 \
+    }                                                                    \
+  } while (0)
 
 // Minimum useful FLOPs per pool lane: below this, dispatch overhead beats
 // the parallel win and the kernel stays on the calling thread. Expressed as
@@ -27,6 +44,8 @@ constexpr int64_t kElementGrain = 1 << 14;
 void matmul(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
   APOLLO_CHECK(a.cols() == b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  APOLLO_TRACE_SCOPE("matmul", "tensor");
+  APOLLO_MATMUL_METRICS("matmul", 2 * m * k * n);
   if (!accumulate) {
     if (c.rows() != m || c.cols() != n) c.reshape_discard(m, n);
     c.zero();
@@ -57,6 +76,8 @@ void matmul(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
 void matmul_at(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
   APOLLO_CHECK(a.rows() == b.rows());
   const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  APOLLO_TRACE_SCOPE("matmul_at", "tensor");
+  APOLLO_MATMUL_METRICS("matmul_at", 2 * m * k * n);
   if (!accumulate) {
     if (c.rows() != m || c.cols() != n) c.reshape_discard(m, n);
     c.zero();
@@ -87,6 +108,8 @@ void matmul_at(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
 void matmul_bt(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
   APOLLO_CHECK(a.cols() == b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  APOLLO_TRACE_SCOPE("matmul_bt", "tensor");
+  APOLLO_MATMUL_METRICS("matmul_bt", 2 * m * k * n);
   // Per-(i,j) dot products serialize on the reduction chain (~6× slower
   // than the streaming kernel); materializing Bᵀ once and streaming is a
   // large net win whenever the O(nk) transpose amortizes over O(mnk) work.

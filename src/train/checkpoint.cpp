@@ -4,6 +4,7 @@
 #include <cstring>
 #include <memory>
 
+#include "obs/trace.h"
 #include "tensor/serialize.h"
 
 namespace apollo::train {
@@ -38,6 +39,7 @@ CheckpointResult fail(const std::string& msg) {
 CheckpointResult save_checkpoint(const std::string& path,
                                  nn::LlamaModel& model, int64_t step,
                                  const optim::Optimizer* opt) {
+  APOLLO_TRACE_SCOPE("save_checkpoint", "io");
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return fail("cannot open for writing: " + path);
 
@@ -95,6 +97,7 @@ CheckpointResult save_checkpoint(const std::string& path,
 CheckpointResult load_checkpoint(const std::string& path,
                                  nn::LlamaModel& model,
                                  optim::Optimizer* opt) {
+  APOLLO_TRACE_SCOPE("load_checkpoint", "io");
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return fail("cannot open for reading: " + path);
 

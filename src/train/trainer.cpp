@@ -1,13 +1,33 @@
 #include "train/trainer.h"
 
+#include <chrono>
 #include <cmath>
 
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "tensor/ops.h"
 #include "train/schedule.h"
 
 namespace apollo::train {
 
+namespace {
+
+// Global gradient norm across all parameters — per-tensor norms accumulate
+// sequentially in doubles, matching the repo's reduction determinism rule.
+double global_grad_norm(const nn::ParamList& params) {
+  double acc = 0;
+  for (const nn::Parameter* p : params) {
+    const double n = frobenius_norm(p->grad);
+    acc += n * n;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
 double validation_loss(nn::LlamaModel& model, const data::ValidationSet& vs) {
   APOLLO_CHECK(!vs.ids.empty());
+  APOLLO_TRACE_SCOPE("validation_loss", "train");
   double total = 0;
   for (size_t i = 0; i < vs.ids.size(); ++i) {
     ag::Tape tape;
@@ -33,11 +53,18 @@ TrainResult Trainer::run() {
 
   std::vector<int32_t> ids, targets;
   const int accum = std::max(1, cfg_.grad_accum);
+  // One cached-env branch when APOLLO_METRICS is unset — the telemetry path
+  // (grad-norm reduction, timing, JSONL write) is never taken.
+  const bool telemetry = obs::telemetry_enabled();
+  using Clock = std::chrono::steady_clock;
   for (int step = 0; step < cfg_.steps; ++step) {
+    APOLLO_TRACE_SCOPE("train.step", "train");
+    const Clock::time_point step_t0 = Clock::now();
     if (qstore_ != nullptr) qstore_->dequantize_into_params();
     model_.zero_grads();
     float step_loss = 0.f;
     for (int micro = 0; micro < accum; ++micro) {
+      APOLLO_TRACE_SCOPE("forward_backward", "train");
       loader.next(ids, targets);
       ag::Tape tape;
       ag::Var loss = model_.loss(tape, ids, targets);
@@ -49,7 +76,12 @@ TrainResult Trainer::run() {
     }
     if (cfg_.record_step_losses) res.step_losses.push_back(step_loss);
 
-    opt_.set_lr(sched.lr_at(step));
+    const float lr = sched.lr_at(step);
+    opt_.set_lr(lr);
+    // Gradients are fully accumulated here; the optimizer consumes but does
+    // not clear them, so measuring before step() sees the applied update.
+    const double grad_norm =
+        telemetry ? global_grad_norm(model_.parameters()) : 0.0;
     opt_.step(model_.parameters());
     if (qstore_ != nullptr) qstore_->requantize_from_params();
 
@@ -57,6 +89,21 @@ TrainResult Trainer::run() {
         step + 1 < cfg_.steps) {
       const double vl = validation_loss(model_, val);
       res.curve.push_back({step + 1, vl, std::exp(vl)});
+      if (telemetry) obs::telemetry().set("val_loss", vl);
+    }
+
+    if (telemetry) {
+      obs::Telemetry& tel = obs::telemetry();
+      tel.set("loss", step_loss);
+      tel.set("grad_norm", grad_norm);
+      tel.set("lr", lr);
+      tel.set_int("state_bytes", opt_.state_bytes());
+      tel.set_int("activation_bytes", res.peak_activation_bytes);
+      tel.set("step_ms",
+              std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        step_t0)
+                  .count());
+      tel.commit(step + 1);
     }
   }
   const double vl = validation_loss(model_, val);

@@ -10,7 +10,7 @@
 #include "optim/adamw.h"
 #include "nn/llama.h"
 #include "tensor/ops.h"
-#include "train/csv_logger.h"
+#include "obs/csv_sink.h"
 #include "train/trainer.h"
 
 namespace apollo {
@@ -116,10 +116,10 @@ TEST(GradAccum, AccumReducesPeakActivations) {
   EXPECT_LT(run(1, 8), run(8, 1));
 }
 
-TEST(CsvLogger, WritesHeaderAndRows) {
+TEST(CsvSink, WritesHeaderAndRows) {
   const std::string path = std::string(::testing::TempDir()) + "log.csv";
   {
-    train::CsvLogger log(path, {"step", "loss"});
+    obs::CsvSink log(path, {"step", "loss"});
     EXPECT_TRUE(log.enabled());
     log.row({1, 0.5});
     log.row({2, 0.25});
@@ -134,8 +134,8 @@ TEST(CsvLogger, WritesHeaderAndRows) {
   EXPECT_EQ(line, "2,0.25");
 }
 
-TEST(CsvLogger, EmptyPathDisables) {
-  train::CsvLogger log("", {"a"});
+TEST(CsvSink, EmptyPathDisables) {
+  obs::CsvSink log("", {"a"});
   EXPECT_FALSE(log.enabled());
   log.row({1});  // must be a safe no-op
 }

@@ -17,7 +17,7 @@
 #include "data/text_corpus.h"
 #include "nn/llama.h"
 #include "train/checkpoint.h"
-#include "train/csv_logger.h"
+#include "obs/csv_sink.h"
 #include "train/schedule.h"
 #include "train/trainer.h"
 
@@ -165,7 +165,7 @@ int main(int argc, char** argv) {
   if (qstore) trainer.set_quantized_weights(qstore.get());
   auto result = trainer.run();
 
-  train::CsvLogger csv(csv_path, {"step", "val_loss", "ppl"});
+  obs::CsvSink csv(csv_path, {"step", "val_loss", "ppl"});
   for (const auto& pt : result.curve) {
     std::printf("step %6d   val loss %.4f   ppl %8.2f\n", pt.step,
                 pt.val_loss, pt.perplexity);
