@@ -225,6 +225,30 @@ bool Apollo::load_state(std::FILE* f, const nn::ParamList& params) {
   return dense_.load(f, keys);
 }
 
+int64_t Apollo::reseed_projection(uint64_t salt) {
+  if (cfg_.proj != optim::ProjKind::kRandom) return 0;
+  int64_t n = 0;
+  // Each seed is remixed independently (SplitMix64 finalizer over the old
+  // seed and the salt), so the result is deterministic regardless of the
+  // unordered_map's iteration order.
+  for (auto& [p, s] : states_) {
+    uint64_t z = s.proj_seed + 0x9E3779B97F4A7C15ull * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    s.proj_seed = z ^ (z >> 31);
+    ++n;
+  }
+  return n;
+}
+
+bool Apollo::tighten_norm_limiter(float factor) {
+  if (!cfg_.use_norm_limiter) return false;
+  APOLLO_CHECK(factor > 0.f && factor <= 1.f);
+  cfg_.nl_gamma = 1.f + (cfg_.nl_gamma - 1.f) * factor;
+  for (auto& [p, s] : states_) s.limiter.set_gamma(cfg_.nl_gamma);
+  return true;
+}
+
 const std::vector<float>* Apollo::last_scaling(
     const nn::Parameter* p) const {
   auto it = states_.find(p);

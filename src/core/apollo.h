@@ -73,6 +73,13 @@ class Apollo : public optim::Optimizer {
   bool save_state(std::FILE* f, const nn::ParamList& params) const override;
   bool load_state(std::FILE* f, const nn::ParamList& params) override;
 
+  // Recovery hooks (divergence watchdog): re-derive every per-parameter
+  // projection seed (random projections only — the SVD ablation's projector
+  // is data-dependent and refreshes itself), and tighten the norm-growth
+  // limiter toward gamma = 1 for the current and all future states.
+  int64_t reseed_projection(uint64_t salt) override;
+  bool tighten_norm_limiter(float factor) override;
+
   // Instrumentation for the Fig. 4 / Fig. 8 reproduction: the channel-wise
   // scaling factors computed at the most recent step for `p` (empty until
   // the first step, or if `p` took the dense fallback).

@@ -33,6 +33,10 @@ class NormGrowthLimiter {
   double tracked_norm() const { return prev_; }
   // Restore the tracked norm when resuming from a checkpoint.
   void set_tracked_norm(double n) { prev_ = n; }
+  float gamma() const { return gamma_; }
+  // Tightened by the divergence watchdog's last-resort escalation
+  // (Optimizer::tighten_norm_limiter): a gamma closer to 1 clips harder.
+  void set_gamma(float g) { gamma_ = g; }
   static constexpr int64_t state_floats() { return 1; }
 
  private:

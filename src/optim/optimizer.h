@@ -39,6 +39,17 @@ class Optimizer {
     return false;
   }
 
+  // Recovery hooks used by the divergence watchdog (train/resilience.h).
+  // `reseed_projection` deterministically re-derives any internal
+  // random-projection seeds from the old seed and `salt`, so a retry after
+  // rollback explores a different subspace instead of replaying the diverged
+  // one; returns the number of re-seeded states (0 = not applicable).
+  virtual int64_t reseed_projection(uint64_t /*salt*/) { return 0; }
+  // `tighten_norm_limiter` moves the norm-growth limiter's gamma toward 1:
+  // gamma -> 1 + (gamma - 1) * factor, factor in (0, 1]. Returns false when
+  // the optimizer has no limiter to tighten.
+  virtual bool tighten_norm_limiter(float /*factor*/) { return false; }
+
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
   int64_t steps_taken() const { return t_; }

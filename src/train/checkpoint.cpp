@@ -1,9 +1,17 @@
 #include "train/checkpoint.h"
 
-#include <cstdio>
-#include <cstring>
-#include <memory>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <vector>
+
+#include "fault/crc32.h"
+#include "fault/fault_injection.h"
 #include "obs/trace.h"
 #include "tensor/serialize.h"
 
@@ -12,7 +20,9 @@ namespace apollo::train {
 namespace {
 
 constexpr char kMagic[4] = {'A', 'P', 'L', 'O'};
-constexpr uint32_t kVersion = 2;
+constexpr char kEndMagic[4] = {'O', 'L', 'P', 'A'};
+constexpr uint32_t kVersion = 3;
+constexpr int kSaveAttempts = 3;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -21,17 +31,238 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-bool write_all(std::FILE* f, const void* data, size_t bytes) {
-  return std::fwrite(data, 1, bytes, f) == bytes;
-}
-bool read_all(std::FILE* f, void* data, size_t bytes) {
-  return std::fread(data, 1, bytes, f) == bytes;
-}
+struct FreeDeleter {
+  void operator()(void* p) const { std::free(p); }
+};
 
 CheckpointResult fail(const std::string& msg) {
   CheckpointResult r;
   r.error = msg;
   return r;
+}
+
+// Streams bytes to a FILE* while accumulating a CRC-32 over everything
+// written since the last emit_crc(). All writes short-circuit after the
+// first failure so call sites can batch writes and check `ok()` once.
+class CrcWriter {
+ public:
+  explicit CrcWriter(std::FILE* f) : f_(f) {}
+
+  void write(const void* p, size_t n) {
+    if (!ok_ || n == 0) return;
+    if (std::fwrite(p, 1, n, f_) != n) {
+      ok_ = false;
+      return;
+    }
+    crc_ = fault::crc32_update(crc_, p, n);
+  }
+  template <typename T>
+  void write_pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(&v, sizeof v);
+  }
+  // Writes the CRC of the section that just ended (the CRC bytes themselves
+  // are not part of any section) and starts a new section.
+  void emit_crc() {
+    const uint32_t c = fault::crc32_final(crc_);
+    if (ok_ && std::fwrite(&c, 1, sizeof c, f_) != sizeof c) ok_ = false;
+    crc_ = fault::kCrc32Init;
+  }
+  // Raw write outside any section (magic bytes).
+  void write_raw(const void* p, size_t n) {
+    if (ok_ && std::fwrite(p, 1, n, f_) != n) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  uint32_t crc_ = fault::kCrc32Init;
+  bool ok_ = true;
+};
+
+// Reads bytes while accumulating a CRC-32; check_crc() reads the stored
+// section CRC and compares.
+class CrcReader {
+ public:
+  explicit CrcReader(std::FILE* f) : f_(f) {}
+
+  bool read(void* p, size_t n) {
+    if (!ok_) return false;
+    if (n == 0) return true;
+    if (std::fread(p, 1, n, f_) != n) {
+      ok_ = false;
+      return false;
+    }
+    crc_ = fault::crc32_update(crc_, p, n);
+    return true;
+  }
+  template <typename T>
+  bool read_pod(T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return read(&v, sizeof v);
+  }
+  // Returns true when the stored section CRC matches the accumulated one;
+  // starts a new section either way. Truncation mid-CRC also returns false.
+  bool check_crc() {
+    const uint32_t computed = fault::crc32_final(crc_);
+    crc_ = fault::kCrc32Init;
+    uint32_t stored = 0;
+    if (!ok_ || std::fread(&stored, 1, sizeof stored, f_) != sizeof stored) {
+      ok_ = false;
+      return false;
+    }
+    return stored == computed;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  uint32_t crc_ = fault::kCrc32Init;
+  bool ok_ = true;
+};
+
+// Serializes the optimizer state into memory so the section can be
+// length-prefixed and checksummed. Returns false when the optimizer does
+// not support serialization (the caller then writes a weights-only file).
+bool capture_optimizer_blob(const optim::Optimizer& opt,
+                            const nn::ParamList& params,
+                            std::vector<char>* out) {
+  char* buf = nullptr;
+  size_t len = 0;
+  std::FILE* mf = open_memstream(&buf, &len);
+  if (mf == nullptr) return false;
+  const bool supported = opt.save_state(mf, params);
+  std::fclose(mf);
+  std::unique_ptr<char, FreeDeleter> owned(buf);
+  if (!supported) return false;
+  out->assign(owned.get(), owned.get() + len);
+  return true;
+}
+
+// Writes the full v3 payload into an already-open temp file. `step` is
+// forwarded to the fault-injection hooks. Sets *opt_section_off to the file
+// offset where the optimizer section begins (for the bitflip_opt fault).
+CheckpointResult write_payload(std::FILE* f, const std::string& path,
+                               nn::LlamaModel& model, int64_t step,
+                               const optim::Optimizer* opt,
+                               long* opt_section_off) {
+  CrcWriter w(f);
+  auto params = model.parameters();
+  const uint32_t count = static_cast<uint32_t>(params.size());
+
+  w.write_raw(kMagic, 4);
+  w.write_pod(kVersion);
+  w.write_pod(step);
+  w.write_pod(count);
+  w.emit_crc();
+  if (!w.ok()) return fail("write failed (header): " + path);
+
+  size_t i = 0;
+  for (const nn::Parameter* p : params) {
+    // Simulated crash halfway through the parameter sections: the temp
+    // file is flushed (so a torn prefix is actually on disk) and the
+    // process dies without any cleanup, exactly like a mid-save SIGKILL.
+    if (i++ == params.size() / 2 &&
+        fault::take_at_or_after(fault::Kind::kCrashInSave, step)) {
+      std::fflush(f);
+      std::_Exit(fault::kCrashInSaveExitCode);
+    }
+    const uint32_t name_len = static_cast<uint32_t>(p->name.size());
+    const int64_t rows = p->value.rows(), cols = p->value.cols();
+    w.write_pod(name_len);
+    w.write(p->name.data(), name_len);
+    w.write_pod(rows);
+    w.write_pod(cols);
+    w.write(p->value.data(),
+            static_cast<size_t>(p->value.size()) * sizeof(float));
+    w.emit_crc();
+    if (!w.ok()) return fail("write failed (param " + p->name + "): " + path);
+  }
+
+  *opt_section_off = std::ftell(f);
+  CheckpointResult r;
+  std::vector<char> blob;
+  const bool has_state =
+      opt != nullptr && capture_optimizer_blob(*opt, params, &blob);
+  const uint8_t has_opt = has_state ? 1 : 0;
+  w.write_pod(has_opt);
+  if (has_state) {
+    const std::string name = opt->name();
+    const uint32_t name_len = static_cast<uint32_t>(name.size());
+    const uint64_t blob_len = blob.size();
+    w.write_pod(name_len);
+    w.write(name.data(), name_len);
+    w.write_pod(blob_len);
+    w.write(blob.data(), blob.size());
+    r.optimizer_state_restored = true;  // saved, symmetrically
+  }
+  w.emit_crc();
+  w.write_raw(kEndMagic, 4);
+  if (!w.ok()) return fail("write failed (optimizer section): " + path);
+
+  r.ok = true;
+  r.step = step;
+  return r;
+}
+
+void backoff_sleep(int attempt) {
+  // 10ms, 40ms, 160ms — bounded, long enough for transient EAGAIN/ENOSPC
+  // blips to clear, short enough to never matter on the happy path.
+  timespec ts{};
+  ts.tv_nsec = 10L * 1000 * 1000 << (2 * attempt);
+  nanosleep(&ts, nullptr);
+}
+
+// Flushes the renamed file's directory so the rename itself is durable.
+void fsync_parent_dir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+// Post-commit fault hooks: corrupt the just-renamed checkpoint in the ways
+// a less careful writer (or failing hardware) would, so auto-resume's CRC
+// scan has something real to detect.
+void apply_post_commit_faults(const std::string& path, int64_t step,
+                              long opt_section_off) {
+  if (fault::take_at_or_after(fault::Kind::kTruncCkpt, step)) {
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    long size = 0;
+    if (f) {
+      std::fseek(f.get(), 0, SEEK_END);
+      size = std::ftell(f.get());
+      f.reset();
+    }
+    if (size > 0) {
+      if (::truncate(path.c_str(), size / 2) != 0)
+        std::fprintf(stderr, "[fault] trunc_ckpt: truncate failed\n");
+    }
+  }
+  if (fault::take_at_or_after(fault::Kind::kBitflipOpt, step)) {
+    FilePtr f(std::fopen(path.c_str(), "r+b"));
+    if (f) {
+      std::fseek(f.get(), 0, SEEK_END);
+      const long size = std::ftell(f.get());
+      // Midpoint of the optimizer section payload (before its CRC and the
+      // end magic): detectable only by the section checksum.
+      const long payload_end = size - 8;
+      if (payload_end > opt_section_off) {
+        const long off = opt_section_off + (payload_end - opt_section_off) / 2;
+        std::fseek(f.get(), off, SEEK_SET);
+        const int c = std::fgetc(f.get());
+        if (c != EOF) {
+          std::fseek(f.get(), off, SEEK_SET);
+          std::fputc(c ^ 0x10, f.get());
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -40,103 +271,70 @@ CheckpointResult save_checkpoint(const std::string& path,
                                  nn::LlamaModel& model, int64_t step,
                                  const optim::Optimizer* opt) {
   APOLLO_TRACE_SCOPE("save_checkpoint", "io");
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return fail("cannot open for writing: " + path);
-
-  auto params = model.parameters();
-  const uint32_t count = static_cast<uint32_t>(params.size());
-  if (!write_all(f.get(), kMagic, 4) ||
-      !write_all(f.get(), &kVersion, sizeof kVersion) ||
-      !write_all(f.get(), &step, sizeof step) ||
-      !write_all(f.get(), &count, sizeof count))
-    return fail("write failed (header): " + path);
-
-  for (const nn::Parameter* p : params) {
-    const uint32_t name_len = static_cast<uint32_t>(p->name.size());
-    const int64_t rows = p->value.rows(), cols = p->value.cols();
-    if (!write_all(f.get(), &name_len, sizeof name_len) ||
-        !write_all(f.get(), p->name.data(), name_len) ||
-        !write_all(f.get(), &rows, sizeof rows) ||
-        !write_all(f.get(), &cols, sizeof cols) ||
-        !write_all(f.get(), p->value.data(),
-                   static_cast<size_t>(p->value.size()) * sizeof(float)))
-      return fail("write failed (param " + p->name + "): " + path);
-  }
-
-  // Optional optimizer section (v2).
-  uint8_t has_opt = 0;
-  CheckpointResult r;
-  if (opt != nullptr) {
-    // Probe support by attempting the save after the flag; unsupported
-    // optimizers (save_state returns false immediately, writing nothing)
-    // fall back to a weights-only file.
-    const long flag_pos = std::ftell(f.get());
-    has_opt = 1;
-    if (!write_all(f.get(), &has_opt, 1) ||
-        !write_string(f.get(), opt->name()))
-      return fail("write failed (optimizer header): " + path);
-    if (opt->save_state(f.get(), model.parameters())) {
-      r.optimizer_state_restored = true;  // saved, symmetrically
-    } else {
-      // Rewind and mark as weights-only.
-      if (std::fseek(f.get(), flag_pos, SEEK_SET) != 0)
-        return fail("seek failed: " + path);
-      has_opt = 0;
-      if (!write_all(f.get(), &has_opt, 1)) return fail("write failed");
-      // Note: ftruncate is unnecessary; readers stop at the flag.
+  const std::string tmp = path + ".tmp";
+  CheckpointResult last;
+  for (int attempt = 0; attempt < kSaveAttempts; ++attempt) {
+    if (attempt > 0) backoff_sleep(attempt - 1);
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) {
+      last = fail("cannot open for writing: " + tmp);
+      continue;
     }
-  } else {
-    if (!write_all(f.get(), &has_opt, 1))
-      return fail("write failed (optimizer flag): " + path);
+    long opt_section_off = 0;
+    CheckpointResult r =
+        write_payload(f.get(), tmp, model, step, opt, &opt_section_off);
+    if (!r.ok) {
+      f.reset();
+      std::remove(tmp.c_str());
+      last = std::move(r);
+      continue;
+    }
+    // Durability: flush user-space buffers, then the kernel's, then commit
+    // via rename, then make the rename itself durable.
+    if (std::fflush(f.get()) != 0 || ::fsync(::fileno(f.get())) != 0) {
+      f.reset();
+      std::remove(tmp.c_str());
+      last = fail("fsync failed: " + tmp);
+      continue;
+    }
+    f.reset();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      last = fail("rename failed: " + tmp + " -> " + path);
+      continue;
+    }
+    fsync_parent_dir(path);
+    apply_post_commit_faults(path, step, opt_section_off);
+    return r;
   }
-  r.ok = true;
-  r.step = step;
-  return r;
+  last.error += " (after " + std::to_string(kSaveAttempts) + " attempts)";
+  return last;
 }
 
-CheckpointResult load_checkpoint(const std::string& path,
-                                 nn::LlamaModel& model,
-                                 optim::Optimizer* opt) {
-  APOLLO_TRACE_SCOPE("load_checkpoint", "io");
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return fail("cannot open for reading: " + path);
+namespace {
 
-  char magic[4];
-  uint32_t version = 0, count = 0;
-  int64_t step = 0;
-  if (!read_all(f.get(), magic, 4) ||
-      !read_all(f.get(), &version, sizeof version) ||
-      !read_all(f.get(), &step, sizeof step) ||
-      !read_all(f.get(), &count, sizeof count))
-    return fail("truncated header: " + path);
-  if (std::memcmp(magic, kMagic, 4) != 0)
-    return fail("bad magic (not an APOLLO checkpoint): " + path);
-  if (version != 1 && version != kVersion)
-    return fail("unsupported checkpoint version " + std::to_string(version));
-
-  auto params = model.parameters();
-  if (count != params.size())
-    return fail("parameter count mismatch: file has " +
-                std::to_string(count) + ", model has " +
-                std::to_string(params.size()));
-
+// Legacy loader for v1 (weights only) and v2 (optimizer tail, no CRCs)
+// files, kept byte-compatible with the original readers.
+CheckpointResult load_legacy(std::FILE* f, const std::string& path,
+                             uint32_t version, int64_t step,
+                             const nn::ParamList& params,
+                             optim::Optimizer* opt) {
   for (nn::Parameter* p : params) {
     uint32_t name_len = 0;
-    if (!read_all(f.get(), &name_len, sizeof name_len) || name_len > 4096)
+    if (!read_pod(f, name_len) || name_len > 4096)
       return fail("corrupt name length near param " + p->name);
     std::string name(name_len, '\0');
     int64_t rows = 0, cols = 0;
-    if (!read_all(f.get(), name.data(), name_len) ||
-        !read_all(f.get(), &rows, sizeof rows) ||
-        !read_all(f.get(), &cols, sizeof cols))
+    if (!read_bytes(f, name.data(), name_len) || !read_pod(f, rows) ||
+        !read_pod(f, cols))
       return fail("truncated param header near " + p->name);
     if (name != p->name)
       return fail("parameter name mismatch: file '" + name + "' vs model '" +
                   p->name + "'");
     if (rows != p->value.rows() || cols != p->value.cols())
       return fail("shape mismatch for " + name);
-    if (!read_all(f.get(), p->value.data(),
-                  static_cast<size_t>(p->value.size()) * sizeof(float)))
+    if (!read_bytes(f, p->value.data(),
+                    static_cast<size_t>(p->value.size()) * sizeof(float)))
       return fail("truncated data for " + name);
   }
 
@@ -146,18 +344,150 @@ CheckpointResult load_checkpoint(const std::string& path,
   if (version < 2) return r;  // v1: weights only
 
   uint8_t has_opt = 0;
-  if (!read_all(f.get(), &has_opt, 1)) return r;  // tolerate missing tail
+  if (!read_pod(f, has_opt)) return r;  // tolerate missing tail
   if (has_opt == 0 || opt == nullptr) return r;
   std::string opt_name;
-  if (!read_string(f.get(), opt_name))
+  if (!read_string(f, opt_name))
     return fail("corrupt optimizer section: " + path);
   if (opt_name != opt->name()) {
     // Different optimizer: weights are loaded, state is skipped.
     return r;
   }
-  if (!opt->load_state(f.get(), model.parameters()))
+  if (!opt->load_state(f, params))
     return fail("failed to restore optimizer state (" + opt_name + ")");
   r.optimizer_state_restored = true;
+  return r;
+}
+
+CheckpointResult load_v3(std::FILE* f, const std::string& path,
+                         const nn::ParamList& params, optim::Optimizer* opt) {
+  CrcReader rd(f);
+  for (nn::Parameter* p : params) {
+    uint32_t name_len = 0;
+    if (!rd.read_pod(name_len) || name_len > 4096)
+      return fail("truncated param header near " + p->name);
+    std::string name(name_len, '\0');
+    int64_t rows = 0, cols = 0;
+    if (!rd.read(name.data(), name_len) || !rd.read_pod(rows) ||
+        !rd.read_pod(cols))
+      return fail("truncated param header near " + p->name);
+    if (name != p->name)
+      return fail("parameter name mismatch: file '" + name + "' vs model '" +
+                  p->name + "'");
+    if (rows != p->value.rows() || cols != p->value.cols())
+      return fail("shape mismatch for " + name);
+    if (!rd.read(p->value.data(),
+                 static_cast<size_t>(p->value.size()) * sizeof(float)))
+      return fail("truncated data for " + name);
+    if (!rd.check_crc())
+      return fail(rd.ok() ? "CRC mismatch in parameter section '" + name +
+                                "': " + path
+                          : "truncated parameter section '" + name +
+                                "': " + path);
+  }
+
+  CheckpointResult r;
+  uint8_t has_opt = 0;
+  if (!rd.read_pod(has_opt))
+    return fail("truncated optimizer section: " + path);
+  std::string opt_name;
+  std::vector<char> blob;
+  if (has_opt != 0) {
+    uint32_t name_len = 0;
+    if (!rd.read_pod(name_len) || name_len > 4096)
+      return fail("truncated optimizer section: " + path);
+    opt_name.assign(name_len, '\0');
+    uint64_t blob_len = 0;
+    if (!rd.read(opt_name.data(), name_len) || !rd.read_pod(blob_len))
+      return fail("truncated optimizer section: " + path);
+    if (blob_len > (uint64_t{1} << 33))
+      return fail("corrupt optimizer blob length: " + path);
+    blob.resize(blob_len);
+    if (!rd.read(blob.data(), blob.size()))
+      return fail("truncated optimizer section: " + path);
+  }
+  if (!rd.check_crc())
+    return fail(rd.ok() ? "CRC mismatch in optimizer section: " + path
+                        : "truncated optimizer section: " + path);
+  char end_magic[4];
+  if (std::fread(end_magic, 1, 4, f) != 4 ||
+      std::memcmp(end_magic, kEndMagic, 4) != 0)
+    return fail("missing end marker (truncated tail): " + path);
+
+  r.ok = true;
+  if (has_opt != 0 && opt != nullptr && opt_name == opt->name()) {
+    // The blob is already CRC-verified; hand the optimizer an in-memory
+    // stream so a short blob surfaces as a load failure, not a file error.
+    std::FILE* mf = fmemopen(blob.data(), blob.size(), "rb");
+    if (mf == nullptr) return fail("cannot open optimizer blob: " + path);
+    const bool loaded = opt->load_state(mf, params);
+    std::fclose(mf);
+    if (!loaded)
+      return fail("failed to restore optimizer state (" + opt_name + ")");
+    r.optimizer_state_restored = true;
+  }
+  return r;
+}
+
+}  // namespace
+
+CheckpointResult load_checkpoint(const std::string& path,
+                                 nn::LlamaModel& model,
+                                 optim::Optimizer* opt) {
+  APOLLO_TRACE_SCOPE("load_checkpoint", "io");
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return fail("cannot open for reading: " + path);
+
+  // A zero-byte file is what a crashed non-atomic writer leaves behind the
+  // moment after open(O_TRUNC); report it distinctly from garbage content.
+  std::fseek(f.get(), 0, SEEK_END);
+  if (std::ftell(f.get()) == 0)
+    return fail("empty checkpoint file: " + path);
+  std::fseek(f.get(), 0, SEEK_SET);
+
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4)
+    return fail("truncated header: " + path);
+  if (std::memcmp(magic, kMagic, 4) != 0)
+    return fail("bad magic (not an APOLLO checkpoint): " + path);
+
+  uint32_t version = 0;
+  if (std::fread(&version, 1, sizeof version, f.get()) != sizeof version)
+    return fail("truncated header: " + path);
+  if (version != 1 && version != 2 && version != kVersion)
+    return fail("unsupported checkpoint version " + std::to_string(version));
+
+  auto params = model.parameters();
+  int64_t step = 0;
+  uint32_t count = 0;
+  if (version == kVersion) {
+    // v3 header section: CRC covers version|step|count.
+    uint32_t crc = fault::crc32_update(fault::kCrc32Init, &version,
+                                       sizeof version);
+    if (std::fread(&step, 1, sizeof step, f.get()) != sizeof step ||
+        std::fread(&count, 1, sizeof count, f.get()) != sizeof count)
+      return fail("truncated header: " + path);
+    crc = fault::crc32_update(crc, &step, sizeof step);
+    crc = fault::crc32_update(crc, &count, sizeof count);
+    uint32_t stored = 0;
+    if (std::fread(&stored, 1, sizeof stored, f.get()) != sizeof stored)
+      return fail("truncated header: " + path);
+    if (stored != fault::crc32_final(crc))
+      return fail("CRC mismatch in header: " + path);
+  } else {
+    if (!read_pod(f.get(), step) || !read_pod(f.get(), count))
+      return fail("truncated header: " + path);
+  }
+  if (count != params.size())
+    return fail("parameter count mismatch: file has " +
+                std::to_string(count) + ", model has " +
+                std::to_string(params.size()));
+
+  CheckpointResult r = version == kVersion
+                           ? load_v3(f.get(), path, params, opt)
+                           : load_legacy(f.get(), path, version, step,
+                                         params, opt);
+  if (r.ok) r.step = step;
   return r;
 }
 

@@ -1,14 +1,23 @@
 // Versioned binary checkpointing for model weights and (optionally)
 // optimizer state for exact training resume.
 //
-// Format v2 (little-endian):
-//   magic "APLO" | u32 version | i64 step | u32 param_count |
+// Format v3 (little-endian), the first *crash-consistent* version:
+//   magic "APLO" | u32 version | i64 step | u32 param_count | u32 crc
 //   per param: u32 name_len | name bytes | i64 rows | i64 cols | f32 data[]
-//   u8 has_optimizer | [optimizer name string | opaque optimizer blob]
-// Loading validates magic/version and that every parameter matches the
-// model's name and shape, so a checkpoint from a different configuration is
-// rejected with a readable error instead of silently mis-loading. v1 files
-// (weights only) still load.
+//              | u32 crc
+//   u8 has_optimizer | [u32 name_len | name | u64 blob_len | blob] | u32 crc
+//   end magic "OLPA"
+// Every section carries a CRC-32 over its payload bytes (src/fault/crc32.h),
+// so truncation, torn writes and bit rot are detected at load time with a
+// section-precise error. Saves are atomic: payload goes to `path + ".tmp"`,
+// is fsync'd, and is renamed over `path` only once fully durable — a crash
+// mid-save leaves the previous checkpoint untouched. Transient I/O errors
+// are retried with bounded backoff.
+//
+// Loading validates magic/version, every section CRC, and that every
+// parameter matches the model's name and shape, so a checkpoint from a
+// different configuration is rejected with a readable error instead of
+// silently mis-loading. v1 (weights only) and v2 (no CRCs) files still load.
 #pragma once
 
 #include <string>
@@ -28,13 +37,16 @@ struct CheckpointResult {
 
 // Saves weights; when `opt` is non-null and supports serialization, its
 // state is appended (AdamW and the APOLLO series do; others save weights
-// only).
+// only). Write-temp → fsync → atomic-rename, with bounded retry on
+// transient I/O errors.
 CheckpointResult save_checkpoint(const std::string& path,
                                  nn::LlamaModel& model, int64_t step,
                                  const optim::Optimizer* opt = nullptr);
 
 // Loads weights; when `opt` is non-null and the file carries a matching
-// optimizer section (same optimizer name), restores it too.
+// optimizer section (same optimizer name), restores it too. Distinct
+// error strings for: missing file, empty file, bad magic, truncation,
+// per-section CRC mismatch, and shape/name mismatches.
 CheckpointResult load_checkpoint(const std::string& path,
                                  nn::LlamaModel& model,
                                  optim::Optimizer* opt = nullptr);

@@ -1,0 +1,147 @@
+#include "train/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "obs/metrics.h"
+
+namespace apollo::train {
+
+namespace fs = std::filesystem;
+
+// --- divergence watchdog ---------------------------------------------------
+
+std::string DivergenceWatchdog::check(double loss, double grad_norm) const {
+  if (!std::isfinite(loss))
+    return "non-finite loss (" + std::to_string(loss) + ")";
+  if (!std::isfinite(grad_norm))
+    return "non-finite gradient norm (" + std::to_string(grad_norm) + ")";
+  if (history_size() >= cfg_.min_history) {
+    const double med = running_median();
+    if (med > 0.0 && loss > cfg_.spike_factor * med)
+      return "loss spike: " + std::to_string(loss) + " > " +
+             std::to_string(cfg_.spike_factor) + " x running median " +
+             std::to_string(med);
+  }
+  return std::string();
+}
+
+void DivergenceWatchdog::observe(double loss) {
+  window_.push_back(loss);
+  while (static_cast<int>(window_.size()) > cfg_.median_window)
+    window_.pop_front();
+}
+
+void DivergenceWatchdog::reset_history() { window_.clear(); }
+
+double DivergenceWatchdog::running_median() const {
+  if (window_.empty()) return 0.0;
+  std::vector<double> v(window_.begin(), window_.end());
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(mid),
+                   v.end());
+  return v[mid];
+}
+
+// --- rotating checkpoints + auto-resume ------------------------------------
+
+namespace {
+
+// Parses `ckpt_<step>.aplo` filenames; returns -1 for anything else.
+int64_t step_of_filename(const std::string& name) {
+  constexpr const char* kPrefix = "ckpt_";
+  constexpr const char* kSuffix = ".aplo";
+  if (name.rfind(kPrefix, 0) != 0) return -1;
+  const size_t suffix_at = name.size() >= 5 ? name.size() - 5 : 0;
+  if (name.compare(suffix_at, 5, kSuffix) != 0) return -1;
+  int64_t step = 0;
+  const size_t digits_begin = 5;  // strlen("ckpt_")
+  if (suffix_at <= digits_begin) return -1;
+  for (size_t i = digits_begin; i < suffix_at; ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    step = step * 10 + (name[i] - '0');
+  }
+  return step;
+}
+
+}  // namespace
+
+CheckpointRotator::CheckpointRotator(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(std::max(1, keep)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  // A crash mid-save leaves a `.tmp` behind; it is not a checkpoint and
+  // must never shadow one, so sweep stale temps on startup.
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0)
+      fs::remove(entry.path(), ec);
+  }
+}
+
+std::string CheckpointRotator::path_for(const std::string& dir,
+                                        int64_t step) {
+  return dir + "/ckpt_" + std::to_string(step) + ".aplo";
+}
+
+std::vector<int64_t> CheckpointRotator::list_steps(const std::string& dir) {
+  std::vector<int64_t> steps;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const int64_t s = step_of_filename(entry.path().filename().string());
+    if (s >= 0) steps.push_back(s);
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+CheckpointResult CheckpointRotator::save(nn::LlamaModel& model, int64_t step,
+                                         const optim::Optimizer* opt) {
+  CheckpointResult r = save_checkpoint(path_for(dir_, step), model, step, opt);
+  if (!r.ok) return r;
+  std::vector<int64_t> steps = list_steps(dir_);
+  std::error_code ec;
+  while (static_cast<int>(steps.size()) > keep_) {
+    fs::remove(path_for(dir_, steps.front()), ec);
+    steps.erase(steps.begin());
+  }
+  return r;
+}
+
+ResumeResult auto_resume(const std::string& dir, nn::LlamaModel& model,
+                         optim::Optimizer* opt) {
+  ResumeResult rr;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return rr;
+  std::vector<int64_t> steps = CheckpointRotator::list_steps(dir);
+  if (steps.empty()) return rr;
+  obs::Counter& skipped = obs::Registry::instance().counter(
+      "ckpt.corrupt_skipped");
+  // A corrupt file can be rejected halfway through loading, after some
+  // parameters were already overwritten; snapshot the weights so a fully
+  // failed scan hands back the model untouched.
+  auto params = model.parameters();
+  std::vector<Matrix> snapshot;
+  snapshot.reserve(params.size());
+  for (const nn::Parameter* p : params) snapshot.push_back(p->value);
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    const std::string path = CheckpointRotator::path_for(dir, *it);
+    CheckpointResult r = load_checkpoint(path, model, opt);
+    if (r.ok) {
+      rr.resumed = true;
+      rr.step = r.step;
+      rr.optimizer_state_restored = r.optimizer_state_restored;
+      return rr;
+    }
+    skipped.add(1);
+    rr.skipped.push_back(path + ": " + r.error);
+  }
+  for (size_t i = 0; i < params.size(); ++i)
+    params[i]->value = snapshot[i];
+  rr.error = "no loadable checkpoint among " + std::to_string(steps.size()) +
+             " candidate(s) in " + dir;
+  return rr;
+}
+
+}  // namespace apollo::train

@@ -1,0 +1,158 @@
+// Resilience subsystem: rotating crash-consistent checkpoints, newest-first
+// auto-resume that skips corrupt files, and the divergence watchdog that
+// turns a NaN/Inf/spiking step into a rollback instead of a dead run.
+//
+// Recovery state machine (docs/RESILIENCE.md has the full picture):
+//
+//   HEALTHY --(NaN/Inf loss or grad, or loss > spike_factor x running
+//              median)--> DIVERGED --> rollback to last good checkpoint,
+//   re-seed the projection, multiply the LR by lr_backoff --> PROBATION
+//   --(min_history healthy steps)--> HEALTHY (LR scale restored, retry
+//   budget refilled). When the retry budget is exhausted the watchdog
+//   tightens the optimizer's norm-growth limiter once and grants a final
+//   budget; if that also diverges the run aborts with diagnostics.
+//
+// All components are deterministic: the watchdog's running median is over
+// the exact loss sequence, rollback restores bit-identical weights and
+// optimizer state (checkpoint v3 round-trips raw float bytes), and the
+// projection re-seed is a pure function of the old seed and the retry
+// count.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "train/checkpoint.h"
+
+namespace apollo::train {
+
+// --- divergence watchdog ---------------------------------------------------
+
+struct WatchdogConfig {
+  // A step diverges when loss or grad norm is non-finite, or when loss
+  // exceeds spike_factor x the running median of recent healthy losses.
+  double spike_factor = 10.0;
+  // Sliding window of healthy losses feeding the median.
+  int median_window = 11;
+  // Spike detection stays off until this many healthy losses are recorded
+  // (the first steps of a run legitimately move fast).
+  int min_history = 5;
+  // Rollbacks allowed before escalating. The limiter-tightening escalation
+  // grants one extra budget, so the hard cap is 2*max_retries rollbacks.
+  int max_retries = 3;
+  // Multiplied into the scheduled LR after each rollback; restored to 1
+  // after the probation window passes.
+  float lr_backoff = 0.5f;
+  // gamma -> 1 + (gamma - 1) * limiter_tighten on escalation.
+  float limiter_tighten = 0.5f;
+};
+
+class DivergenceWatchdog {
+ public:
+  explicit DivergenceWatchdog(const WatchdogConfig& cfg) : cfg_(cfg) {}
+
+  // Empty string when the step is healthy, else a human-readable reason.
+  std::string check(double loss, double grad_norm) const;
+
+  // Record a healthy step's loss into the median window.
+  void observe(double loss);
+
+  // Forget history after a rollback — post-rollback losses are compared
+  // against the recovered trajectory, not the diverged one.
+  void reset_history();
+
+  // Median of the recorded window; 0 while empty.
+  double running_median() const;
+  int history_size() const { return static_cast<int>(window_.size()); }
+
+ private:
+  WatchdogConfig cfg_;
+  std::deque<double> window_;
+};
+
+// Exponential LR backoff with probation-based restore: each rollback
+// multiplies the scale by `factor`; once `probation` consecutive good steps
+// pass, the scale snaps back to 1 (the diverged region is behind us, so the
+// run finishes at full schedule strength).
+class LrBackoff {
+ public:
+  LrBackoff(float factor, int probation)
+      : factor_(factor), probation_(probation) {}
+
+  void on_rollback() {
+    scale_ *= factor_;
+    good_streak_ = 0;
+  }
+  void on_good_step() {
+    if (scale_ >= 1.f) return;
+    if (++good_streak_ >= probation_) {
+      scale_ = 1.f;
+      good_streak_ = 0;
+    }
+  }
+  float scale() const { return scale_; }
+  bool in_probation() const { return scale_ < 1.f; }
+
+ private:
+  float factor_;
+  int probation_;
+  float scale_ = 1.f;
+  int good_streak_ = 0;
+};
+
+// --- rotating checkpoints + auto-resume ------------------------------------
+
+// Writes `ckpt_<step>.aplo` files into a directory through the atomic
+// checkpoint path and prunes all but the newest `keep`. Stale `*.tmp`
+// leftovers from crashed saves are removed on construction.
+class CheckpointRotator {
+ public:
+  CheckpointRotator(std::string dir, int keep);
+
+  CheckpointResult save(nn::LlamaModel& model, int64_t step,
+                        const optim::Optimizer* opt);
+
+  static std::string path_for(const std::string& dir, int64_t step);
+  // Steps with an on-disk checkpoint file, ascending.
+  static std::vector<int64_t> list_steps(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  int keep_;
+};
+
+struct ResumeResult {
+  bool resumed = false;
+  int64_t step = 0;
+  bool optimizer_state_restored = false;
+  // One "path: reason" entry per corrupt/unreadable checkpoint skipped.
+  std::vector<std::string> skipped;
+  std::string error;  // set when checkpoints existed but none loaded
+};
+
+// Scans `dir` newest-to-oldest and loads the first checkpoint that passes
+// all CRC/shape validation, skipping corrupt ones with a readable reason
+// (each skip increments the `ckpt.corrupt_skipped` registry counter).
+// An empty or missing directory resumes nothing and is not an error.
+ResumeResult auto_resume(const std::string& dir, nn::LlamaModel& model,
+                         optim::Optimizer* opt);
+
+// --- trainer-facing configuration ------------------------------------------
+
+struct ResilienceConfig {
+  // Enables rotating checkpoints (and rollback); empty = disabled.
+  std::string ckpt_dir;
+  int ckpt_every = 50;
+  int ckpt_keep = 3;
+  // Scan ckpt_dir before training and continue from the newest good
+  // checkpoint (requires ckpt_dir).
+  bool auto_resume = true;
+  // Enables the divergence watchdog (requires ckpt_dir for rollback).
+  bool watchdog = false;
+  WatchdogConfig wd;
+};
+
+}  // namespace apollo::train

@@ -2,7 +2,13 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
 
+#include "fault/fault_injection.h"
+#include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
@@ -21,6 +27,14 @@ double global_grad_norm(const nn::ParamList& params) {
     acc += n * n;
   }
   return std::sqrt(acc);
+}
+
+// Fast-forwards a freshly (re)built loader so step `to_step` sees exactly
+// the batches an uninterrupted run would have seen — resume and rollback
+// replay the same deterministic data stream.
+void skip_batches(data::BatchLoader& loader, int64_t n) {
+  std::vector<int32_t> ids, targets;
+  for (int64_t i = 0; i < n; ++i) loader.next(ids, targets);
 }
 
 }  // namespace
@@ -43,29 +57,89 @@ Trainer::Trainer(nn::LlamaModel& model, optim::Optimizer& opt,
 
 TrainResult Trainer::run() {
   TrainResult res;
-  data::BatchLoader loader(corpus_, cfg_.batch, model_.config().seq_len,
-                           cfg_.data_seed);
+  const ResilienceConfig& rc = cfg_.resilience;
+  const bool rotating = !rc.ckpt_dir.empty();
+  APOLLO_CHECK(!rc.watchdog || rotating);  // rollback needs a ckpt target
+
+  std::unique_ptr<CheckpointRotator> rotator;
+  int start_step = 0;
+  if (rotating) {
+    rotator = std::make_unique<CheckpointRotator>(rc.ckpt_dir, rc.ckpt_keep);
+    if (rc.auto_resume) {
+      ResumeResult rr = auto_resume(rc.ckpt_dir, model_, &opt_);
+      res.corrupt_checkpoints_skipped = static_cast<int>(rr.skipped.size());
+      for (const std::string& s : rr.skipped)
+        std::fprintf(stderr, "[resume] skipped corrupt checkpoint %s\n",
+                     s.c_str());
+      if (rr.resumed) {
+        start_step = static_cast<int>(rr.step);
+        res.resumed_from_step = rr.step;
+        std::fprintf(stderr, "[resume] continuing from step %lld%s\n",
+                     static_cast<long long>(rr.step),
+                     rr.optimizer_state_restored ? " with optimizer state"
+                                                 : " (weights only)");
+      } else if (!rr.error.empty()) {
+        // Checkpoints existed but none loaded: starting over silently would
+        // discard the run the checkpoints were protecting.
+        res.diverged = true;
+        res.divergence_diagnostics = "auto-resume failed: " + rr.error;
+        return res;
+      }
+    }
+  }
+
   const data::ValidationSet val = data::make_validation_set(
       corpus_, cfg_.eval_batches, cfg_.batch, model_.config().seq_len,
       cfg_.val_seed);
   CosineSchedule sched(cfg_.lr, cfg_.steps, cfg_.warmup_frac,
                        cfg_.final_lr_frac);
+  const int accum = std::max(1, cfg_.grad_accum);
+
+  std::optional<data::BatchLoader> loader;
+  loader.emplace(corpus_, cfg_.batch, model_.config().seq_len,
+                 cfg_.data_seed);
+  skip_batches(*loader, static_cast<int64_t>(start_step) * accum);
+
+  DivergenceWatchdog watchdog(rc.wd);
+  LrBackoff backoff(rc.wd.lr_backoff, rc.wd.min_history);
+  int retries = 0;
+  bool limiter_tightened = false;
+  int64_t last_ckpt_step = -1;
+  if (rotating) {
+    const std::vector<int64_t> existing =
+        CheckpointRotator::list_steps(rc.ckpt_dir);
+    if (!existing.empty()) {
+      last_ckpt_step = existing.back();
+    } else if (rc.watchdog) {
+      // Baseline rollback target: divergence before the first periodic
+      // checkpoint rolls back to the initial weights.
+      if (rotator->save(model_, start_step, &opt_).ok) {
+        last_ckpt_step = start_step;
+        ++res.checkpoints_saved;
+      }
+    }
+  }
 
   std::vector<int32_t> ids, targets;
-  const int accum = std::max(1, cfg_.grad_accum);
   // One cached-env branch when APOLLO_METRICS is unset — the telemetry path
   // (grad-norm reduction, timing, JSONL write) is never taken.
   const bool telemetry = obs::telemetry_enabled();
+  const bool faults = fault::enabled();
   using Clock = std::chrono::steady_clock;
-  for (int step = 0; step < cfg_.steps; ++step) {
+  for (int step = start_step; step < cfg_.steps; ++step) {
     APOLLO_TRACE_SCOPE("train.step", "train");
+    if (faults && fault::take_at(fault::Kind::kCrash, step)) {
+      // Simulated kill: no atexit flushing, no destructors — the next run
+      // must recover from on-disk state alone.
+      std::_Exit(fault::kCrashExitCode);
+    }
     const Clock::time_point step_t0 = Clock::now();
     if (qstore_ != nullptr) qstore_->dequantize_into_params();
     model_.zero_grads();
     float step_loss = 0.f;
     for (int micro = 0; micro < accum; ++micro) {
       APOLLO_TRACE_SCOPE("forward_backward", "train");
-      loader.next(ids, targets);
+      loader->next(ids, targets);
       ag::Tape tape;
       ag::Var loss = model_.loss(tape, ids, targets);
       // Mean over micro-batches: seed the backward pass with 1/accum.
@@ -74,14 +148,90 @@ TrainResult Trainer::run() {
       res.peak_activation_bytes =
           std::max(res.peak_activation_bytes, tape.activation_bytes());
     }
-    if (cfg_.record_step_losses) res.step_losses.push_back(step_loss);
+    if (faults && fault::take_at(fault::Kind::kNanGrad, step)) {
+      nn::ParamList params = model_.parameters();
+      if (!params.empty() && params[0]->grad.size() > 0)
+        params[0]->grad[0] = std::nanf("");
+    }
 
-    const float lr = sched.lr_at(step);
-    opt_.set_lr(lr);
     // Gradients are fully accumulated here; the optimizer consumes but does
     // not clear them, so measuring before step() sees the applied update.
-    const double grad_norm =
-        telemetry ? global_grad_norm(model_.parameters()) : 0.0;
+    const double grad_norm = (telemetry || rc.watchdog)
+                                 ? global_grad_norm(model_.parameters())
+                                 : 0.0;
+
+    if (rc.watchdog) {
+      const std::string why =
+          watchdog.check(static_cast<double>(step_loss), grad_norm);
+      if (!why.empty()) {
+        ++res.rollbacks;
+        obs::Registry::instance().counter("watchdog.rollbacks").add(1);
+        if (retries >= rc.wd.max_retries) {
+          // Escalation ladder: tighten the norm-growth limiter once and
+          // grant a final retry budget, then abort with diagnostics.
+          if (!limiter_tightened &&
+              opt_.tighten_norm_limiter(rc.wd.limiter_tighten)) {
+            limiter_tightened = true;
+            retries = 0;
+            std::fprintf(stderr,
+                         "[watchdog] retry budget exhausted; tightened "
+                         "norm-growth limiter, granting a final budget\n");
+          } else {
+            res.diverged = true;
+            res.divergence_diagnostics =
+                "diverged at step " + std::to_string(step) + ": " + why +
+                "; " + std::to_string(res.rollbacks) + " rollback(s), lr " +
+                "scale " + std::to_string(backoff.scale()) +
+                ", last good checkpoint at step " +
+                std::to_string(last_ckpt_step);
+            std::fprintf(stderr, "[watchdog] aborting: %s\n",
+                         res.divergence_diagnostics.c_str());
+            if (last_ckpt_step >= 0)
+              load_checkpoint(
+                  CheckpointRotator::path_for(rc.ckpt_dir, last_ckpt_step),
+                  model_, &opt_);
+            break;
+          }
+        }
+        ++retries;
+        APOLLO_CHECK(last_ckpt_step >= 0);
+        const std::string path =
+            CheckpointRotator::path_for(rc.ckpt_dir, last_ckpt_step);
+        CheckpointResult rolled = load_checkpoint(path, model_, &opt_);
+        if (!rolled.ok) {
+          res.diverged = true;
+          res.divergence_diagnostics =
+              "rollback target unloadable (" + path + "): " + rolled.error;
+          std::fprintf(stderr, "[watchdog] aborting: %s\n",
+                       res.divergence_diagnostics.c_str());
+          break;
+        }
+        opt_.reseed_projection(static_cast<uint64_t>(res.rollbacks));
+        backoff.on_rollback();
+        watchdog.reset_history();
+        std::fprintf(stderr,
+                     "[watchdog] step %d: %s — rolled back to step %lld "
+                     "(retry %d/%d, lr scale %.6g)\n",
+                     step, why.c_str(),
+                     static_cast<long long>(last_ckpt_step), retries,
+                     rc.wd.max_retries,
+                     static_cast<double>(backoff.scale()));
+        // Replay the data stream from the rollback point.
+        loader.emplace(corpus_, cfg_.batch, model_.config().seq_len,
+                       cfg_.data_seed);
+        skip_batches(*loader, last_ckpt_step * accum);
+        if (qstore_ != nullptr) qstore_->requantize_from_params();
+        step = static_cast<int>(last_ckpt_step) - 1;  // ++ re-enters there
+        continue;
+      }
+      watchdog.observe(static_cast<double>(step_loss));
+      backoff.on_good_step();
+    }
+
+    if (cfg_.record_step_losses) res.step_losses.push_back(step_loss);
+
+    const float lr = sched.lr_at(step) * backoff.scale();
+    opt_.set_lr(lr);
     opt_.step(model_.parameters());
     if (qstore_ != nullptr) qstore_->requantize_from_params();
 
@@ -92,6 +242,17 @@ TrainResult Trainer::run() {
       if (telemetry) obs::telemetry().set("val_loss", vl);
     }
 
+    if (rotating && (step + 1) % std::max(1, rc.ckpt_every) == 0) {
+      const CheckpointResult saved = rotator->save(model_, step + 1, &opt_);
+      if (saved.ok) {
+        last_ckpt_step = step + 1;
+        ++res.checkpoints_saved;
+      } else {
+        std::fprintf(stderr, "[ckpt] save failed at step %d: %s\n",
+                     step + 1, saved.error.c_str());
+      }
+    }
+
     if (telemetry) {
       obs::Telemetry& tel = obs::telemetry();
       tel.set("loss", step_loss);
@@ -99,6 +260,7 @@ TrainResult Trainer::run() {
       tel.set("lr", lr);
       tel.set_int("state_bytes", opt_.state_bytes());
       tel.set_int("activation_bytes", res.peak_activation_bytes);
+      if (res.rollbacks > 0) tel.set_int("rollbacks", res.rollbacks);
       tel.set("step_ms",
               std::chrono::duration<double, std::milli>(Clock::now() -
                                                         step_t0)

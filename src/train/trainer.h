@@ -3,14 +3,23 @@
 // INT8 weight store (Q- variants), periodic validation-perplexity
 // checkpoints. Every experiment bench drives training through this one loop
 // so methods differ *only* in the optimizer object passed in.
+//
+// With TrainConfig::resilience configured the loop additionally writes
+// rotating crash-consistent checkpoints, auto-resumes from the newest good
+// one, and runs the divergence watchdog (rollback + LR backoff on NaN/Inf
+// or loss spikes) — see train/resilience.h and docs/RESILIENCE.md. With the
+// default (disabled) resilience config the trajectory is bit-identical to
+// the pre-resilience trainer.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/quantized_weights.h"
 #include "data/corpus.h"
 #include "nn/llama.h"
 #include "optim/optimizer.h"
+#include "train/resilience.h"
 
 namespace apollo::train {
 
@@ -30,6 +39,9 @@ struct TrainConfig {
   uint64_t data_seed = 7;
   uint64_t val_seed = 7777;
   bool record_step_losses = false;  // per-step training loss (Fig. 3)
+  // Fault tolerance: rotating checkpoints, auto-resume, divergence
+  // watchdog. Default-disabled (empty ckpt_dir, watchdog off).
+  ResilienceConfig resilience;
 };
 
 struct EvalPoint {
@@ -44,6 +56,13 @@ struct TrainResult {
   std::vector<float> step_losses;
   int64_t optimizer_state_bytes = 0;
   int64_t peak_activation_bytes = 0;
+  // Recovery bookkeeping (all zero on a fault-free non-resilient run).
+  int64_t resumed_from_step = 0;   // > 0 when auto-resume kicked in
+  int rollbacks = 0;               // watchdog-triggered rollbacks
+  int checkpoints_saved = 0;       // rotating checkpoint commits
+  int corrupt_checkpoints_skipped = 0;  // during auto-resume
+  bool diverged = false;  // aborted after the retry budget was exhausted
+  std::string divergence_diagnostics;
 };
 
 // Mean cross-entropy over a validation set (forward only).

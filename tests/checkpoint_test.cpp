@@ -1,7 +1,9 @@
 // Checkpoint serialization tests, including corruption/mismatch rejection.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "train/checkpoint.h"
 
@@ -84,6 +86,93 @@ TEST(Checkpoint, GarbageFileRejected) {
   auto l = train::load_checkpoint(path, m);
   EXPECT_FALSE(l.ok);
   EXPECT_NE(l.error.find("magic"), std::string::npos);
+}
+
+TEST(Checkpoint, ZeroByteFileGetsDistinctError) {
+  // What a crashed non-atomic writer leaves behind right after O_TRUNC —
+  // must be reported as empty, not as a magic/truncation failure.
+  const std::string path = temp_path("ckpt_empty.bin");
+  std::ofstream(path, std::ios::binary | std::ios::trunc).flush();
+  nn::LlamaModel m(tiny(), 1);
+  auto l = train::load_checkpoint(path, m);
+  EXPECT_FALSE(l.ok);
+  EXPECT_NE(l.error.find("empty checkpoint file"), std::string::npos)
+      << l.error;
+  EXPECT_EQ(l.error.find("magic"), std::string::npos) << l.error;
+}
+
+TEST(Checkpoint, SingleBitFlipDetectedByCrc) {
+  const std::string path = temp_path("ckpt_bitflip.bin");
+  nn::LlamaModel a(tiny(), 1);
+  ASSERT_TRUE(train::save_checkpoint(path, a, 0).ok);
+  // Flip one bit inside the first parameter's float data. The flipped value
+  // is still a perfectly plausible float — only the section CRC can tell.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 100, SEEK_SET);
+  const int c = std::fgetc(f);
+  std::fseek(f, 100, SEEK_SET);
+  std::fputc(c ^ 0x01, f);
+  std::fclose(f);
+  nn::LlamaModel b(tiny(), 2);
+  auto l = train::load_checkpoint(path, b);
+  EXPECT_FALSE(l.ok);
+  EXPECT_NE(l.error.find("CRC mismatch in parameter section"),
+            std::string::npos)
+      << l.error;
+}
+
+TEST(Checkpoint, SuccessfulSaveLeavesNoTempFile) {
+  const std::string path = temp_path("ckpt_notmp.bin");
+  nn::LlamaModel a(tiny(), 1);
+  ASSERT_TRUE(train::save_checkpoint(path, a, 0).ok);
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+}
+
+TEST(Checkpoint, UnwritablePathReportsRetryExhaustion) {
+  nn::LlamaModel a(tiny(), 1);
+  auto r = train::save_checkpoint(
+      temp_path("no_such_dir/ckpt.bin"), a, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("after 3 attempts"), std::string::npos) << r.error;
+}
+
+TEST(Checkpoint, LegacyV1FileStillLoads) {
+  // Hand-crafted v1 layout (no CRCs, weights only): readers must stay
+  // byte-compatible with checkpoints written before format v3.
+  const std::string path = temp_path("ckpt_v1.bin");
+  nn::LlamaModel a(tiny(), 1);
+  auto params = a.parameters();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("APLO", 1, 4, f);
+  const uint32_t version = 1;
+  const int64_t step = 77;
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  std::fwrite(&version, sizeof version, 1, f);
+  std::fwrite(&step, sizeof step, 1, f);
+  std::fwrite(&count, sizeof count, 1, f);
+  for (const nn::Parameter* p : params) {
+    const uint32_t name_len = static_cast<uint32_t>(p->name.size());
+    const int64_t rows = p->value.rows(), cols = p->value.cols();
+    std::fwrite(&name_len, sizeof name_len, 1, f);
+    std::fwrite(p->name.data(), 1, name_len, f);
+    std::fwrite(&rows, sizeof rows, 1, f);
+    std::fwrite(&cols, sizeof cols, 1, f);
+    std::fwrite(p->value.data(), sizeof(float),
+                static_cast<size_t>(p->value.size()), f);
+  }
+  std::fclose(f);
+
+  nn::LlamaModel b(tiny(), 2);
+  auto l = train::load_checkpoint(path, b);
+  ASSERT_TRUE(l.ok) << l.error;
+  EXPECT_EQ(l.step, 77);
+  EXPECT_FALSE(l.optimizer_state_restored);
+  for (size_t i = 0; i < params.size(); ++i)
+    EXPECT_TRUE(params[i]->value == b.parameters()[i]->value);
 }
 
 }  // namespace

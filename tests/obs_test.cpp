@@ -5,6 +5,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -378,6 +379,51 @@ TEST(Telemetry, OffProducesNoFileAndOnIsBitIdentical) {
   EXPECT_NE(text.find("\"opt.s_med\":"), std::string::npos);
   std::remove(path.c_str());
   obs::Registry::instance().reset();
+}
+
+// --- recovery counters: silent when nothing goes wrong ----------------------
+
+TEST(Registry, RecoveryCountersStayZeroOnFaultFreeRun) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "obs_resilient_ckpts";
+  std::filesystem::remove_all(dir);
+  obs::Registry::instance().reset();
+  obs::Registry& reg = obs::Registry::instance();
+  // Touch the counters first so the assertion can't pass vacuously.
+  obs::Counter& injected = reg.counter("fault.injected");
+  obs::Counter& rollbacks = reg.counter("watchdog.rollbacks");
+  obs::Counter& skipped = reg.counter("ckpt.corrupt_skipped");
+
+  nn::LlamaConfig cfg;
+  cfg.vocab = 64; cfg.hidden = 16; cfg.intermediate = 40;
+  cfg.n_heads = 2; cfg.n_layers = 1; cfg.seq_len = 8;
+  nn::LlamaModel model(cfg, 3);
+  data::CorpusConfig ccfg;
+  ccfg.vocab = 64;
+  data::SyntheticCorpus corpus(ccfg);
+  core::ApolloConfig acfg;
+  acfg.rank = 2;
+  acfg.update_freq = 3;
+  core::Apollo opt(acfg);
+  train::TrainConfig tc;
+  tc.steps = 8;
+  tc.batch = 2;
+  tc.lr = 0.01f;
+  tc.resilience.ckpt_dir = dir;
+  tc.resilience.ckpt_every = 4;
+  tc.resilience.watchdog = true;
+  train::Trainer t(model, opt, corpus, tc);
+  const auto res = t.run();
+
+  EXPECT_FALSE(res.diverged) << res.divergence_diagnostics;
+  EXPECT_EQ(res.rollbacks, 0);
+  EXPECT_EQ(res.corrupt_checkpoints_skipped, 0);
+  EXPECT_GE(res.checkpoints_saved, 2);
+  EXPECT_EQ(injected.value(), 0);
+  EXPECT_EQ(rollbacks.value(), 0);
+  EXPECT_EQ(skipped.value(), 0);
+  obs::Registry::instance().reset();
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Telemetry, ContributionsAreDroppedWhenOff) {

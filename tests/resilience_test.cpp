@@ -1,0 +1,281 @@
+// Resilience subsystem unit tests: divergence watchdog thresholds, LR
+// backoff sequence + probation restore, checkpoint rotation, bit-identical
+// rollback, and newest-first auto-resume that skips corrupt checkpoints.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/apollo.h"
+#include "data/corpus.h"
+#include "obs/metrics.h"
+#include "train/resilience.h"
+
+namespace apollo {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- watchdog ----------------------------------------------------------------
+
+TEST(Watchdog, NonFiniteLossOrGradFlagsImmediately) {
+  train::DivergenceWatchdog wd(train::WatchdogConfig{});
+  EXPECT_NE(wd.check(std::nan(""), 1.0), "");
+  EXPECT_NE(wd.check(HUGE_VAL, 1.0), "");
+  EXPECT_NE(wd.check(2.0, std::nan("")), "");
+  EXPECT_NE(wd.check(2.0, HUGE_VAL), "");
+  EXPECT_EQ(wd.check(2.0, 1.0), "");  // finite, no history → healthy
+}
+
+TEST(Watchdog, SpikeArmsOnlyAfterMinHistory) {
+  train::WatchdogConfig cfg;
+  cfg.spike_factor = 10.0;
+  cfg.min_history = 5;
+  train::DivergenceWatchdog wd(cfg);
+  // Before min_history healthy losses, even a huge step is tolerated.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(wd.check(1e9, 1.0), "") << "step " << i;
+    wd.observe(4.0);
+  }
+  wd.observe(4.0);  // fifth healthy loss arms spike detection
+  EXPECT_DOUBLE_EQ(wd.running_median(), 4.0);
+  EXPECT_EQ(wd.check(39.9, 1.0), "");       // just under 10x median
+  EXPECT_NE(wd.check(40.1, 1.0), "");       // just over
+  const std::string why = wd.check(1e9, 1.0);
+  EXPECT_NE(why.find("spike"), std::string::npos) << why;
+}
+
+TEST(Watchdog, MedianTracksWindowAndResets) {
+  train::WatchdogConfig cfg;
+  cfg.median_window = 3;
+  train::DivergenceWatchdog wd(cfg);
+  wd.observe(1.0);
+  wd.observe(100.0);
+  wd.observe(2.0);
+  EXPECT_DOUBLE_EQ(wd.running_median(), 2.0);  // {1, 100, 2}
+  wd.observe(3.0);                             // evicts 1.0 → {100, 2, 3}
+  EXPECT_DOUBLE_EQ(wd.running_median(), 3.0);
+  EXPECT_EQ(wd.history_size(), 3);
+  wd.reset_history();
+  EXPECT_EQ(wd.history_size(), 0);
+  EXPECT_DOUBLE_EQ(wd.running_median(), 0.0);
+}
+
+TEST(LrBackoff, HalvesPerRollbackAndRestoresAfterProbation) {
+  train::LrBackoff b(0.5f, /*probation=*/3);
+  EXPECT_FLOAT_EQ(b.scale(), 1.0f);
+  EXPECT_FALSE(b.in_probation());
+  b.on_rollback();
+  EXPECT_FLOAT_EQ(b.scale(), 0.5f);
+  b.on_rollback();
+  EXPECT_FLOAT_EQ(b.scale(), 0.25f);
+  EXPECT_TRUE(b.in_probation());
+  b.on_good_step();
+  b.on_good_step();
+  EXPECT_FLOAT_EQ(b.scale(), 0.25f);  // probation not yet served
+  b.on_good_step();
+  EXPECT_FLOAT_EQ(b.scale(), 1.0f);  // restored at full schedule strength
+  EXPECT_FALSE(b.in_probation());
+  // A rollback resets the good-step streak.
+  b.on_rollback();
+  b.on_good_step();
+  b.on_rollback();
+  b.on_good_step();
+  b.on_good_step();
+  EXPECT_FLOAT_EQ(b.scale(), 0.25f);
+}
+
+// --- rotation + auto-resume --------------------------------------------------
+
+nn::LlamaConfig tiny() {
+  nn::LlamaConfig c;
+  c.vocab = 48;
+  c.hidden = 16;
+  c.intermediate = 40;
+  c.n_heads = 2;
+  c.n_layers = 1;
+  c.seq_len = 8;
+  return c;
+}
+
+struct FixedBatches {
+  std::vector<std::vector<int32_t>> ids, targets;
+  explicit FixedBatches(int n) {
+    data::CorpusConfig ccfg;
+    ccfg.vocab = 48;
+    data::SyntheticCorpus corpus(ccfg);
+    data::BatchLoader loader(corpus, 2, 8, 5);
+    ids.resize(static_cast<size_t>(n));
+    targets.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+      loader.next(ids[static_cast<size_t>(i)],
+                  targets[static_cast<size_t>(i)]);
+  }
+};
+
+void train_steps(nn::LlamaModel& model, optim::Optimizer& opt,
+                 const FixedBatches& data, int from, int to) {
+  for (int s = from; s < to; ++s) {
+    model.zero_grads();
+    ag::Tape tape;
+    tape.backward(model.loss(tape, data.ids[static_cast<size_t>(s)],
+                             data.targets[static_cast<size_t>(s)]));
+    opt.set_lr(1e-3f);
+    opt.step(model.parameters());
+  }
+}
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void corrupt_middle_byte(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr) << path;
+  std::fseek(f, 0, SEEK_END);
+  const long mid = std::ftell(f) / 2;
+  std::fseek(f, mid, SEEK_SET);
+  const int c = std::fgetc(f);
+  std::fseek(f, mid, SEEK_SET);
+  std::fputc(c ^ 0x40, f);
+  std::fclose(f);
+}
+
+TEST(Rotator, KeepsNewestKAndSweepsTmpLeftovers) {
+  const std::string dir = fresh_dir("rot_keep");
+  nn::LlamaModel m(tiny(), 1);
+  {
+    train::CheckpointRotator rot(dir, /*keep=*/2);
+    for (int64_t s : {10, 20, 30}) ASSERT_TRUE(rot.save(m, s, nullptr).ok);
+  }
+  EXPECT_EQ(train::CheckpointRotator::list_steps(dir),
+            (std::vector<int64_t>{20, 30}));
+  EXPECT_FALSE(fs::exists(train::CheckpointRotator::path_for(dir, 10)));
+
+  // A stale temp file (crashed save) is swept by the next construction.
+  const std::string stale =
+      train::CheckpointRotator::path_for(dir, 40) + ".tmp";
+  std::ofstream(stale, std::ios::binary) << "partial";
+  ASSERT_TRUE(fs::exists(stale));
+  train::CheckpointRotator rot2(dir, 2);
+  EXPECT_FALSE(fs::exists(stale));
+  // Committed checkpoints are untouched by the sweep.
+  EXPECT_EQ(train::CheckpointRotator::list_steps(dir),
+            (std::vector<int64_t>{20, 30}));
+  fs::remove_all(dir);
+}
+
+TEST(Rotator, RollbackRestoresBitIdenticalWeightsAndOptimizerState) {
+  const std::string dir = fresh_dir("rot_bitident");
+  const FixedBatches data(13);
+  nn::LlamaModel model(tiny(), 1);
+  core::ApolloConfig acfg;
+  acfg.rank = 4;
+  acfg.update_freq = 6;
+  acfg.seed = 9;
+  auto opt = core::Apollo::standard(acfg);
+  train_steps(model, *opt, data, 0, 10);
+
+  train::CheckpointRotator rot(dir, 4);
+  ASSERT_TRUE(rot.save(model, 10, opt.get()).ok);
+  const std::string before =
+      read_bytes(train::CheckpointRotator::path_for(dir, 10));
+  ASSERT_FALSE(before.empty());
+
+  // Diverge, then roll back and re-save at the same step: the file must be
+  // byte-identical, i.e. weights AND optimizer state round-trip exactly.
+  train_steps(model, *opt, data, 10, 13);
+  auto rolled = train::load_checkpoint(
+      train::CheckpointRotator::path_for(dir, 10), model, opt.get());
+  ASSERT_TRUE(rolled.ok) << rolled.error;
+  ASSERT_TRUE(rolled.optimizer_state_restored);
+  ASSERT_TRUE(rot.save(model, 10, opt.get()).ok);
+  const std::string after =
+      read_bytes(train::CheckpointRotator::path_for(dir, 10));
+  EXPECT_EQ(before, after);
+  fs::remove_all(dir);
+}
+
+TEST(AutoResume, EmptyOrMissingDirIsNotAnError) {
+  const std::string dir = fresh_dir("resume_empty");
+  nn::LlamaModel m(tiny(), 1);
+  auto rr = train::auto_resume(dir, m, nullptr);
+  EXPECT_FALSE(rr.resumed);
+  EXPECT_TRUE(rr.error.empty());
+  EXPECT_TRUE(rr.skipped.empty());
+}
+
+TEST(AutoResume, SkipsCorruptNewestWithReadableReasons) {
+  const std::string dir = fresh_dir("resume_skip");
+  obs::Registry::instance().reset();
+  nn::LlamaModel m(tiny(), 1);
+  train::CheckpointRotator rot(dir, 8);
+  ASSERT_TRUE(rot.save(m, 10, nullptr).ok);
+  ASSERT_TRUE(rot.save(m, 20, nullptr).ok);
+  ASSERT_TRUE(rot.save(m, 30, nullptr).ok);
+  // Newest truncated, middle bit-flipped — both must be skipped with
+  // distinct reasons and the scan must land on step 10.
+  const std::string p30 = train::CheckpointRotator::path_for(dir, 30);
+  ASSERT_EQ(truncate(p30.c_str(),
+                     static_cast<off_t>(fs::file_size(p30) / 2)),
+            0);
+  corrupt_middle_byte(train::CheckpointRotator::path_for(dir, 20));
+
+  nn::LlamaModel fresh(tiny(), 2);
+  auto rr = train::auto_resume(dir, fresh, nullptr);
+  EXPECT_TRUE(rr.resumed) << rr.error;
+  EXPECT_EQ(rr.step, 10);
+  ASSERT_EQ(rr.skipped.size(), 2u);
+  EXPECT_NE(rr.skipped[0].find("ckpt_30"), std::string::npos)
+      << rr.skipped[0];
+  EXPECT_NE(rr.skipped[1].find("ckpt_20"), std::string::npos)
+      << rr.skipped[1];
+  EXPECT_NE(rr.skipped[1].find("CRC mismatch"), std::string::npos)
+      << rr.skipped[1];
+  EXPECT_EQ(
+      obs::Registry::instance().counter("ckpt.corrupt_skipped").value(), 2);
+  // The loaded weights match the saved model.
+  EXPECT_TRUE(fresh.parameters()[0]->value == m.parameters()[0]->value);
+  obs::Registry::instance().reset();
+  fs::remove_all(dir);
+}
+
+TEST(AutoResume, AllCorruptRestoresOriginalWeightsAndReportsError) {
+  const std::string dir = fresh_dir("resume_allbad");
+  nn::LlamaModel saved(tiny(), 1);
+  train::CheckpointRotator rot(dir, 8);
+  ASSERT_TRUE(rot.save(saved, 10, nullptr).ok);
+  ASSERT_TRUE(rot.save(saved, 20, nullptr).ok);
+  corrupt_middle_byte(train::CheckpointRotator::path_for(dir, 10));
+  corrupt_middle_byte(train::CheckpointRotator::path_for(dir, 20));
+
+  nn::LlamaModel fresh(tiny(), 2);
+  const auto want = fresh.parameters()[0]->value;  // pre-scan init
+  auto rr = train::auto_resume(dir, fresh, nullptr);
+  EXPECT_FALSE(rr.resumed);
+  EXPECT_EQ(rr.skipped.size(), 2u);
+  EXPECT_NE(rr.error.find("no loadable checkpoint"), std::string::npos)
+      << rr.error;
+  // A half-applied corrupt load must not leak into the model: the scan
+  // restores the pre-scan weights on total failure.
+  EXPECT_TRUE(fresh.parameters()[0]->value == want);
+  obs::Registry::instance().reset();
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace apollo

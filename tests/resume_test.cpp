@@ -1,12 +1,22 @@
 // Exact-training-resume tests: save at step k, reload into fresh objects,
 // continue — the trajectory must be bit-identical to an uninterrupted run.
+// Plus the crash-mid-write contract: a process killed inside a checkpoint
+// save must never corrupt a committed checkpoint (temp + atomic rename).
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "core/apollo.h"
 #include "data/corpus.h"
+#include "fault/fault_injection.h"
 #include "optim/adamw.h"
 #include "optim/sgd.h"
 #include "train/checkpoint.h"
+#include "train/resilience.h"
 
 namespace apollo {
 namespace {
@@ -115,6 +125,67 @@ TEST(Resume, UnsupportedOptimizerFallsBackToWeightsOnly) {
   check_exact_resume([] { return std::make_unique<optim::Sgd>(0.9f); },
                      false);
 }
+
+#ifdef APOLLO_TRAIN_BIN
+
+// Kills apollo-train halfway through writing a checkpoint's temp file, then
+// verifies the committed checkpoints are untouched, the `.tmp` never shadows
+// a real checkpoint, and a plain relaunch resumes from the last commit.
+TEST(Resume, CrashMidWriteNeverCorruptsCommittedCheckpoints) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      std::string(::testing::TempDir()) + "resume_crash_save";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string cmd_tail =
+      " --hidden 32 --layers 1 --heads 2 --inter 88 --vocab 64 --seq 16"
+      " --optimizer apollo --rank 4 --batch 2 --eval-every 0 --steps 40"
+      " --seed 11 --ckpt-dir ckpts --ckpt-every 10";
+  const std::string cd = "cd " + dir + " && ";
+  const std::string base = std::string(APOLLO_TRAIN_BIN) + cmd_tail;
+
+  int rc = std::system((cd + "APOLLO_FAULTS='crash_save@25' " + base +
+                        " > crash.log 2>&1")
+                           .c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  ASSERT_EQ(WEXITSTATUS(rc), fault::kCrashInSaveExitCode);
+
+  // The kill hit the step-30 save: its temp file is on disk, no committed
+  // ckpt_30 exists, and every earlier commit still passes full validation.
+  const std::string ckpts = dir + "/ckpts";
+  EXPECT_TRUE(fs::exists(ckpts + "/ckpt_30.aplo.tmp"));
+  EXPECT_FALSE(fs::exists(ckpts + "/ckpt_30.aplo"));
+  EXPECT_EQ(train::CheckpointRotator::list_steps(ckpts),
+            (std::vector<int64_t>{10, 20}));
+  nn::LlamaConfig shape;
+  shape.vocab = 64;
+  shape.hidden = 32;
+  shape.intermediate = 88;
+  shape.n_heads = 2;
+  shape.n_layers = 1;
+  shape.seq_len = 16;
+  for (int64_t s : {10, 20}) {
+    nn::LlamaModel probe(shape, 99);
+    auto l = train::load_checkpoint(
+        train::CheckpointRotator::path_for(ckpts, s), probe);
+    EXPECT_TRUE(l.ok) << "step " << s << ": " << l.error;
+  }
+
+  // Relaunch without faults: auto-resume from step 20 and finish cleanly,
+  // sweeping the stale temp file.
+  rc = std::system((cd + base + " > resume.log 2>&1").c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 0);
+  EXPECT_FALSE(fs::exists(ckpts + "/ckpt_30.aplo.tmp"));
+  std::ifstream log(dir + "/resume.log");
+  std::stringstream ss;
+  ss << log.rdbuf();
+  EXPECT_NE(ss.str().find("resumed from step 20"), std::string::npos)
+      << ss.str();
+  fs::remove_all(dir);
+}
+
+#endif  // APOLLO_TRAIN_BIN
 
 TEST(Resume, MismatchedOptimizerSkipsState) {
   const FixedBatches data(4);

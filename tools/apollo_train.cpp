@@ -45,7 +45,20 @@ void usage() {
       "  --csv PATH          write the eval curve as CSV\n"
       "  --save PATH         write a checkpoint after training\n"
       "  --load PATH         initialize weights from a checkpoint\n"
-      "  --seed N            master seed (default 42)\n");
+      "  --seed N            master seed (default 42)\n"
+      "\nFault tolerance (docs/RESILIENCE.md):\n"
+      "  --ckpt-dir DIR      rotating crash-consistent checkpoints +\n"
+      "                      auto-resume from the newest good one\n"
+      "  --ckpt-every N      checkpoint period in steps (default 50)\n"
+      "  --ckpt-keep K       checkpoints retained (default 3)\n"
+      "  --no-resume         disable auto-resume scanning of --ckpt-dir\n"
+      "  --watchdog          divergence watchdog: rollback + LR backoff on\n"
+      "                      NaN/Inf or loss spikes (needs --ckpt-dir)\n"
+      "  --spike-factor F    spike threshold vs running median (default 10)\n"
+      "  --max-retries N     rollback budget before escalation (default 3)\n"
+      "  --lr-backoff F      LR multiplier per rollback (default 0.5)\n"
+      "\n  APOLLO_FAULTS=\"nan_grad@40;crash@120\" plants deterministic\n"
+      "  faults for recovery testing (see docs/RESILIENCE.md).\n");
 }
 
 nn::LlamaConfig model_config(const tools::Args& args) {
@@ -127,6 +140,22 @@ int main(int argc, char** argv) {
   tc.eval_every =
       static_cast<int>(args.get_int("eval-every", tc.steps / 10));
   tc.data_seed = seed;
+  tc.resilience.ckpt_dir = args.get("ckpt-dir", "");
+  tc.resilience.ckpt_every =
+      static_cast<int>(args.get_int("ckpt-every", 50));
+  tc.resilience.ckpt_keep = static_cast<int>(args.get_int("ckpt-keep", 3));
+  tc.resilience.auto_resume = !args.has("no-resume");
+  tc.resilience.watchdog = args.has("watchdog");
+  tc.resilience.wd.spike_factor = args.get_double("spike-factor", 10.0);
+  tc.resilience.wd.max_retries =
+      static_cast<int>(args.get_int("max-retries", 3));
+  tc.resilience.wd.lr_backoff =
+      static_cast<float>(args.get_double("lr-backoff", 0.5));
+  if (tc.resilience.watchdog && tc.resilience.ckpt_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --watchdog needs --ckpt-dir (rollback target)\n");
+    return 1;
+  }
 
   nn::LlamaModel model(cfg, seed);
   std::printf("model: hidden %d, layers %d, heads %d, seq %d — %lld params\n",
@@ -170,6 +199,19 @@ int main(int argc, char** argv) {
     std::printf("step %6d   val loss %.4f   ppl %8.2f\n", pt.step,
                 pt.val_loss, pt.perplexity);
     csv.row({static_cast<double>(pt.step), pt.val_loss, pt.perplexity});
+  }
+  if (result.resumed_from_step > 0)
+    std::printf("resumed from step %lld\n",
+                static_cast<long long>(result.resumed_from_step));
+  if (result.corrupt_checkpoints_skipped > 0)
+    std::printf("corrupt checkpoints skipped: %d\n",
+                result.corrupt_checkpoints_skipped);
+  if (result.rollbacks > 0)
+    std::printf("watchdog rollbacks: %d\n", result.rollbacks);
+  if (result.diverged) {
+    std::fprintf(stderr, "error: training diverged — %s\n",
+                 result.divergence_diagnostics.c_str());
+    return 3;
   }
   std::printf("\nfinal perplexity: %.2f\n", result.final_perplexity);
   std::printf("optimizer state:  %.1f KiB (%s)\n",
