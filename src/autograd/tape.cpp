@@ -2,6 +2,8 @@
 // in ops_nn.cpp and ops_attention.cpp.
 #include "autograd/tape.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -11,8 +13,38 @@
 namespace apollo::ag {
 
 Var Tape::push(Node n) {
+  live_act_bytes_ +=
+      n.value.size() * static_cast<int64_t>(sizeof(float)) + n.extra_bytes;
   nodes_.push_back(std::move(n));
+  bump_peaks();
   return Var{static_cast<int32_t>(nodes_.size() - 1)};
+}
+
+void Tape::bump_peaks() {
+  peak_act_bytes_ = std::max(peak_act_bytes_, live_act_bytes_);
+  peak_grad_bytes_ = std::max(peak_grad_bytes_, live_leaf_grad_bytes_);
+  peak_total_bytes_ =
+      std::max(peak_total_bytes_, live_act_bytes_ + live_leaf_grad_bytes_ +
+                                      live_interior_grad_bytes_);
+}
+
+void Tape::release_node(Node& n) {
+  live_act_bytes_ -=
+      n.value.size() * static_cast<int64_t>(sizeof(float)) + n.extra_bytes;
+  live_interior_grad_bytes_ -=
+      n.grad.size() * static_cast<int64_t>(sizeof(float));
+  n.value = Matrix();
+  n.extra_bytes = 0;
+  n.grad = Matrix();
+  n.grad_ready = false;
+  n.backward = nullptr;  // drops saved tensors captured by the closure
+}
+
+void Tape::release_leaf_grad(Matrix* grad) {
+  APOLLO_CHECK(grad != nullptr);
+  live_leaf_grad_bytes_ -=
+      grad->size() * static_cast<int64_t>(sizeof(float));
+  *grad = Matrix();
 }
 
 Var Tape::leaf(const Matrix* value, Matrix* grad) {
@@ -22,9 +54,17 @@ Var Tape::leaf(const Matrix* value, Matrix* grad) {
   n.ext_grad = grad;
   n.requires_grad = grad != nullptr;
   if (grad != nullptr) {
-    APOLLO_CHECK_MSG(grad->rows() == value->rows() &&
-                         grad->cols() == value->cols(),
-                     "leaf grad must be pre-sized to match value");
+    APOLLO_CHECK_MSG(grad->empty() || (grad->rows() == value->rows() &&
+                                       grad->cols() == value->cols()),
+                     "leaf grad must be empty or sized to match value");
+    // First registration of this gradient sink: remember the id (the point
+    // in the reverse sweep where the gradient is final) and count its bytes
+    // once even if the parameter appears as a leaf again.
+    if (first_leaf_of_
+            .emplace(grad, static_cast<int32_t>(nodes_.size()))
+            .second)
+      live_leaf_grad_bytes_ +=
+          grad->size() * static_cast<int64_t>(sizeof(float));
   }
   return push(std::move(n));
 }
@@ -46,13 +86,35 @@ bool Tape::requires_grad(Var v) const { return node(v).requires_grad; }
 
 Matrix& Tape::grad(Var v) {
   Node& n = node(v);
-  if (n.ext_grad != nullptr) return *n.ext_grad;
+  if (n.ext_grad != nullptr) {
+    if (n.ext_grad->empty()) {
+      // Streaming path: size and zero the parameter gradient on first
+      // touch (reshape_discard zero-initializes, preserving accumulate
+      // semantics).
+      const Matrix& val = value(v);
+      n.ext_grad->reshape_discard(val.rows(), val.cols());
+      live_leaf_grad_bytes_ +=
+          n.ext_grad->size() * static_cast<int64_t>(sizeof(float));
+      bump_peaks();
+    }
+    return *n.ext_grad;
+  }
   if (!n.grad_ready) {
     const Matrix& val = value(v);
     n.grad.reshape_discard(val.rows(), val.cols());
     n.grad_ready = true;
+    live_interior_grad_bytes_ +=
+        n.grad.size() * static_cast<int64_t>(sizeof(float));
+    bump_peaks();
   }
   return n.grad;
+}
+
+const Matrix* Tape::grad_if_ready(Var v) const {
+  const Node& n = node(v);
+  if (n.ext_grad != nullptr)
+    return n.ext_grad->empty() ? nullptr : n.ext_grad;
+  return n.grad_ready ? &n.grad : nullptr;
 }
 
 int64_t Tape::activation_bytes() const {
@@ -79,20 +141,37 @@ void Tape::backward(Var loss, float seed) {
   grad(loss).fill(seed);
   for (int32_t id = loss.id; id >= 0; --id) {
     Node& n = nodes_[static_cast<size_t>(id)];
-    if (!n.requires_grad) continue;
-    // Skip nodes whose gradient was never touched (dead branches).
-    if (n.ext_grad == nullptr && !n.grad_ready) continue;
-    // Every consumer of node `id` has already run, so its gradient is fully
-    // accumulated here — the per-op checkpoint of the numeric-safety mode.
-    if (finite_mode)
-      check_finite_or_die(grad(Var{id}), n.op, "autograd backward");
-    if (n.backward) {
-      // Per-op slice: node op names are string literals, safe to store.
-      if (trace_mode) obs::trace_begin(n.op, "autograd");
-      n.backward(*this);
-      if (trace_mode) obs::trace_end(n.op, "autograd");
+    // Skip nodes whose gradient was never touched (dead branches) —
+    // including leaves whose external grad was left empty by the streaming
+    // path.
+    const bool untouched =
+        (n.ext_grad == nullptr && !n.grad_ready) ||
+        (n.ext_grad != nullptr && n.ext_grad->empty());
+    if (n.requires_grad && !untouched) {
+      // Every consumer of node `id` has already run, so its gradient is
+      // fully accumulated here — the per-op checkpoint of the
+      // numeric-safety mode.
+      if (finite_mode)
+        check_finite_or_die(*grad_if_ready(Var{id}), n.op,
+                            "autograd backward");
+      if (n.backward) {
+        // Per-op slice: node op names are string literals, safe to store.
+        if (trace_mode) obs::trace_begin(n.op, "autograd");
+        n.backward(*this);
+        if (trace_mode) obs::trace_end(n.op, "autograd");
+      }
+      if (n.ext_grad != nullptr && leaf_cb_) {
+        auto it = first_leaf_of_.find(n.ext_grad);
+        if (it != first_leaf_of_.end() && it->second == id)
+          leaf_cb_(n.ext_value, n.ext_grad);
+      }
     }
+    // With gradient release on, nothing below `id` can read this node's
+    // value or gradient anymore (inputs of later-processed closures all
+    // have ids < their own index < id) — free it now.
+    if (gradient_release_) release_node(n);
   }
+  bump_peaks();
 }
 
 Var Tape::matmul(Var a, Var b) {

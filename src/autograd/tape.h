@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -33,7 +34,10 @@ class Tape {
   // --- graph construction -------------------------------------------------
 
   // Trainable leaf: `value` is read during forward, gradients are
-  // *accumulated* into `grad` (caller sizes and zeroes it).
+  // *accumulated* into `grad`. The caller either pre-sizes and zeroes
+  // `grad` (legacy path) or leaves it empty — an empty grad is sized and
+  // zero-filled on first touch during backward (streaming path), so
+  // parameter-gradient memory is only allocated while a gradient is live.
   Var leaf(const Matrix* value, Matrix* grad);
 
   // Non-trainable input (owned copy, no gradient).
@@ -79,12 +83,51 @@ class Tape {
   // Gradient of a node (lazily allocated, zero-initialized). For leaves this
   // is the external grad matrix.
   Matrix& grad(Var v);
+  // Inspection-only gradient access: nullptr when nothing has been
+  // accumulated for `v`. Unlike grad(), never allocates — probing a dead
+  // branch does not inflate activation memory.
+  const Matrix* grad_if_ready(Var v) const;
   bool requires_grad(Var v) const;
 
   size_t node_count() const { return nodes_.size(); }
   // Total bytes held by forward values + saved attention probabilities —
-  // feeds the activation-memory sanity checks.
+  // feeds the activation-memory sanity checks. Under gradient release this
+  // is the *current* footprint (it shrinks during backward); use
+  // peak_activation_bytes() for the high-water mark.
   int64_t activation_bytes() const;
+
+  // --- streaming / fused-update support ------------------------------------
+
+  // Gradient-release mode: after backward() is done with a node — its
+  // closure has run, or it was skipped — the node's owned forward value,
+  // interior gradient, and saved tensors are freed immediately. Safe
+  // because a closure only ever reads the values/gradients of nodes with
+  // ids it can still reach: its own (processed right before the release)
+  // and its inputs' (strictly lower ids, processed later).
+  void set_gradient_release(bool on) { gradient_release_ = on; }
+
+  // Callback fired during backward() at the point where a leaf's external
+  // gradient is final: every consumer of the leaf has a higher id than the
+  // leaf itself, so when the reverse sweep reaches the leaf no remaining
+  // closure can read its value or gradient — the caller may consume the
+  // gradient, update the value in place, and free the gradient without
+  // perturbing the rest of the pass. Untouched (dead) leaves do not fire.
+  void set_leaf_callback(std::function<void(const Matrix*, Matrix*)> cb) {
+    leaf_cb_ = std::move(cb);
+  }
+
+  // Frees a leaf's external gradient (typically from inside the leaf
+  // callback, after the optimizer consumed it) and keeps the gradient-byte
+  // accounting consistent.
+  void release_leaf_grad(Matrix* grad);
+
+  // High-water marks over this tape's lifetime (bytes):
+  //   peak_grad_bytes        leaf (parameter) gradients
+  //   peak_activation_bytes  owned forward values + saved tensors
+  //   peak_total_bytes       both of the above + interior gradients
+  int64_t peak_grad_bytes() const { return peak_grad_bytes_; }
+  int64_t peak_activation_bytes() const { return peak_act_bytes_; }
+  int64_t peak_total_bytes() const { return peak_total_bytes_; }
 
  private:
   struct Node {
@@ -100,6 +143,8 @@ class Tape {
   };
 
   Var push(Node n);
+  void bump_peaks();
+  void release_node(Node& n);
   Node& node(Var v) {
     APOLLO_DCHECK(v.valid() && v.id < static_cast<int32_t>(nodes_.size()));
     return nodes_[static_cast<size_t>(v.id)];
@@ -110,6 +155,20 @@ class Tape {
   }
 
   std::vector<Node> nodes_;
+
+  bool gradient_release_ = false;
+  std::function<void(const Matrix*, Matrix*)> leaf_cb_;
+  // Lowest leaf id per external grad sink — the point in the reverse sweep
+  // where that gradient is final (a parameter may be registered as a leaf
+  // more than once). Built incrementally by leaf().
+  std::unordered_map<const Matrix*, int32_t> first_leaf_of_;
+  // Live byte counters and their high-water marks (see peak_* accessors).
+  int64_t live_act_bytes_ = 0;
+  int64_t live_leaf_grad_bytes_ = 0;
+  int64_t live_interior_grad_bytes_ = 0;
+  int64_t peak_act_bytes_ = 0;
+  int64_t peak_grad_bytes_ = 0;
+  int64_t peak_total_bytes_ = 0;
 };
 
 }  // namespace apollo::ag

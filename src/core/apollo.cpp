@@ -7,7 +7,6 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
-#include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
 namespace apollo::core {
@@ -24,62 +23,76 @@ Apollo::Apollo(const ApolloConfig& cfg, std::string display_name)
   }
 }
 
-void Apollo::step(const nn::ParamList& params) {
-  APOLLO_TRACE_SCOPE("Apollo::step", "optim");
-  ++t_;
-  const bool telemetry = obs::telemetry_enabled();
-  StepStats stats;
-  for (nn::Parameter* p : params) {
-    APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
-    // Rank-1 auxiliary space is meaningful for any matrix, so only 1-D
-    // parameters take the dense fallback (plus degenerate tiny matrices for
-    // ranks > smallest dim).
-    if (!p->matrix_shaped ||
-        std::min(p->value.rows(), p->value.cols()) < cfg_.rank) {
-      dense_.update(p, p->value, p->grad, lr_, t_);
-      continue;
+void Apollo::begin_step(const nn::ParamList& params) {
+  Optimizer::begin_step(params);
+  if (states_.size() < params.size()) states_.resize(params.size());
+  telemetry_ = obs::telemetry_enabled();
+  stats_ = StepStats{};
+  // Everything order-sensitive happens here, iterating params in slot
+  // order: seeder_ draws, refresh decisions, local step counters. This
+  // keeps the RNG stream identical whether step_param() is later called in
+  // slot order (compat step()) or in backward-completion order (fused).
+  for (size_t i = 0; i < params.size(); ++i) {
+    nn::Parameter* p = params[i];
+    slot_of_[p] = i;
+    if (!projected(*p)) continue;  // dense fallback: no per-slot decisions
+    State& s = states_[i];
+    if (s.local_t == 0) {
+      s.side = natural_side(p->value.rows(), p->value.cols());
+      s.proj_seed = seeder_.split();
     }
-    update_matrix_param(p, telemetry ? &stats : nullptr);
+    s.refresh = s.local_t % cfg_.update_freq == 0;
+    ++s.local_t;
+    if (s.refresh && obs::trace_enabled())
+      obs::trace_instant("proj_refresh", "optim");
+    // Random projection seeds are re-drawn every update_freq steps.
+    if (cfg_.proj == optim::ProjKind::kRandom && s.refresh && s.local_t > 1)
+      s.proj_seed = seeder_.split();
   }
-  if (telemetry) {
-    obs::Telemetry& tel = obs::telemetry();
-    tel.set("opt.clip_fraction",
-            stats.sites > 0 ? static_cast<double>(stats.clipped) /
-                                  static_cast<double>(stats.sites)
-                            : 0.0);
-    tel.set_int("opt.proj_refreshes", stats.refreshes);
-    obs::Registry::instance()
-        .counter("optim.apollo.proj_refreshes")
-        .add(stats.refreshes);
-  }
-  optim::check_step_finite(params, display_name_);
 }
 
-void Apollo::update_matrix_param(nn::Parameter* p, StepStats* stats) {
-  State& s = states_[p];
+void Apollo::step_param(nn::Parameter& p, int slot) {
+  APOLLO_CHECK_SAME_SHAPE(p.value, p.grad);
+  if (!projected(p)) {
+    dense_.update(slot, p.value, p.grad, lr_, t_);
+    return;
+  }
+  update_matrix_param(&p, states_[static_cast<size_t>(slot)],
+                      telemetry_ ? &stats_ : nullptr);
+}
+
+void Apollo::end_step(const nn::ParamList& params) {
+  if (telemetry_) {
+    obs::Telemetry& tel = obs::telemetry();
+    tel.set("opt.clip_fraction",
+            stats_.sites > 0 ? static_cast<double>(stats_.clipped) /
+                                   static_cast<double>(stats_.sites)
+                             : 0.0);
+    tel.set_int("opt.proj_refreshes", stats_.refreshes);
+    obs::Registry::instance()
+        .counter("optim.apollo.proj_refreshes")
+        .add(stats_.refreshes);
+  }
+  Optimizer::end_step(params);  // finite check under APOLLO_CHECK_FINITE
+}
+
+void Apollo::update_matrix_param(nn::Parameter* p, State& s,
+                                 StepStats* stats) {
+  APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
   const Matrix& g = p->grad;
   const int64_t r = cfg_.rank;
 
-  if (s.local_t == 0) {
-    s.side = natural_side(g.rows(), g.cols());
-    s.proj_seed = seeder_.split();
-  }
-  const bool refresh = s.local_t % cfg_.update_freq == 0;
-  ++s.local_t;
-  if (refresh && obs::trace_enabled())
-    obs::trace_instant("proj_refresh", "optim");
-
-  // Step 1: project the gradient into the rank-r auxiliary space.
+  // Step 1: project the gradient into the rank-r auxiliary space. The
+  // refresh decision and any seed re-draw already happened in begin_step().
   Matrix rg;
   if (cfg_.proj == optim::ProjKind::kRandom) {
-    if (refresh && s.local_t > 1) s.proj_seed = seeder_.split();
     const int64_t small_dim =
         s.side == ProjectionSide::kLeft ? g.rows() : g.cols();
     // Regenerated from the seed every step — never stored.
     Matrix proj = gaussian_projection(r, small_dim, s.proj_seed);
     rg = project(g, proj, s.side);
   } else {
-    if (refresh) {
+    if (s.refresh) {
       s.svd_projector = s.side == ProjectionSide::kLeft
                             ? svd_left_projector(g, r)
                             : svd_right_projector(g, r);
@@ -93,8 +106,8 @@ void Apollo::update_matrix_param(nn::Parameter* p, StepStats* stats) {
     s.v.reshape_discard(rg.rows(), rg.cols());
   }
   const float b1 = cfg_.hyper.beta1, b2 = cfg_.hyper.beta2;
-  const float bc1 = 1.f - std::pow(b1, static_cast<float>(s.local_t));
-  const float bc2 = 1.f - std::pow(b2, static_cast<float>(s.local_t));
+  const optim::BiasCorrection bc = optim::bias_correction(cfg_.hyper, s.local_t);
+  const float bc1 = bc.c1, bc2 = bc.c2;
   Matrix rtilde(rg.rows(), rg.cols());
   core::parallel_for(
       rg.size(),
@@ -139,7 +152,7 @@ void Apollo::update_matrix_param(nn::Parameter* p, StepStats* stats) {
   if (stats != nullptr) {
     ++stats->sites;
     if (clipped) ++stats->clipped;
-    if (refresh) ++stats->refreshes;
+    if (s.refresh) ++stats->refreshes;
     // Distribution of the structured scaling factors s_j (Fig. 4 / Fig. 8):
     // committed per step as s_min / s_med / s_max / s_n.
     obs::telemetry().sample("opt.s", s.last_scaling.data(),
@@ -160,7 +173,8 @@ void Apollo::update_matrix_param(nn::Parameter* p, StepStats* stats) {
 
 int64_t Apollo::state_bytes() const {
   int64_t b = dense_.state_bytes();
-  for (const auto& [k, s] : states_) {
+  for (const State& s : states_) {
+    if (s.local_t == 0) continue;  // slot never projected (dense or unseen)
     b += (s.m.size() + s.v.size()) * static_cast<int64_t>(sizeof(float));
     b += s.svd_projector.size() * static_cast<int64_t>(sizeof(float));
     b += 8;  // projection seed
@@ -177,35 +191,36 @@ int64_t Apollo::state_bytes() const {
 bool Apollo::save_state(std::FILE* f, const nn::ParamList& params) const {
   const Rng::State rs = seeder_.state();
   if (!write_pod(f, t_) || !write_pod(f, rs)) return false;
-  for (const nn::Parameter* p : params) {
-    auto it = states_.find(p);
-    const uint8_t present = it != states_.end() ? 1 : 0;
+  for (size_t i = 0; i < params.size(); ++i) {
+    // A slot is "present" once it has been projected at least once — the
+    // byte layout matches the old pointer-keyed format exactly (v3
+    // checkpoints stay readable).
+    const State* s =
+        i < states_.size() && states_[i].local_t > 0 ? &states_[i] : nullptr;
+    const uint8_t present = s != nullptr ? 1 : 0;
     if (!write_pod(f, present)) return false;
     if (!present) continue;
-    const State& s = it->second;
-    const uint8_t side = s.side == ProjectionSide::kLeft ? 0 : 1;
-    const double nl = s.limiter.tracked_norm();
-    if (!write_pod(f, side) || !write_pod(f, s.proj_seed) ||
-        !write_pod(f, s.local_t) || !write_pod(f, nl) ||
-        !write_matrix(f, s.svd_projector) || !write_matrix(f, s.m) ||
-        !write_matrix(f, s.v))
+    const uint8_t side = s->side == ProjectionSide::kLeft ? 0 : 1;
+    const double nl = s->limiter.tracked_norm();
+    if (!write_pod(f, side) || !write_pod(f, s->proj_seed) ||
+        !write_pod(f, s->local_t) || !write_pod(f, nl) ||
+        !write_matrix(f, s->svd_projector) || !write_matrix(f, s->m) ||
+        !write_matrix(f, s->v))
       return false;
   }
-  std::vector<const void*> keys;
-  for (const nn::Parameter* p : params) keys.push_back(p);
-  return dense_.save(f, keys);
+  return dense_.save(f, static_cast<int64_t>(params.size()));
 }
 
 bool Apollo::load_state(std::FILE* f, const nn::ParamList& params) {
   Rng::State rs;
   if (!read_pod(f, t_) || !read_pod(f, rs)) return false;
   seeder_.set_state(rs);
-  states_.clear();
-  for (const nn::Parameter* p : params) {
+  states_.assign(params.size(), State());
+  for (size_t i = 0; i < params.size(); ++i) {
     uint8_t present = 0;
     if (!read_pod(f, present)) return false;
     if (!present) continue;
-    State& s = states_[p];
+    State& s = states_[i];
     uint8_t side = 0;
     double nl = -1.0;
     if (!read_pod(f, side) || !read_pod(f, s.proj_seed) ||
@@ -220,18 +235,17 @@ bool Apollo::load_state(std::FILE* f, const nn::ParamList& params) {
     s.limiter = optim::NormGrowthLimiter(cfg_.nl_gamma);
     s.limiter.set_tracked_norm(nl);
   }
-  std::vector<const void*> keys;
-  for (const nn::Parameter* p : params) keys.push_back(p);
-  return dense_.load(f, keys);
+  return dense_.load(f, static_cast<int64_t>(params.size()));
 }
 
 int64_t Apollo::reseed_projection(uint64_t salt) {
   if (cfg_.proj != optim::ProjKind::kRandom) return 0;
   int64_t n = 0;
   // Each seed is remixed independently (SplitMix64 finalizer over the old
-  // seed and the salt), so the result is deterministic regardless of the
-  // unordered_map's iteration order.
-  for (auto& [p, s] : states_) {
+  // seed and the salt), so the result is deterministic regardless of
+  // iteration order.
+  for (State& s : states_) {
+    if (s.local_t == 0) continue;  // never projected: no seed to remix
     uint64_t z = s.proj_seed + 0x9E3779B97F4A7C15ull * (salt + 1);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
@@ -245,15 +259,18 @@ bool Apollo::tighten_norm_limiter(float factor) {
   if (!cfg_.use_norm_limiter) return false;
   APOLLO_CHECK(factor > 0.f && factor <= 1.f);
   cfg_.nl_gamma = 1.f + (cfg_.nl_gamma - 1.f) * factor;
-  for (auto& [p, s] : states_) s.limiter.set_gamma(cfg_.nl_gamma);
+  for (State& s : states_) s.limiter.set_gamma(cfg_.nl_gamma);
   return true;
 }
 
+// Read-only instrumentation lookup; unknown pointers return nullptr.
+// lint:allow(check-shape-preconditions)
 const std::vector<float>* Apollo::last_scaling(
     const nn::Parameter* p) const {
-  auto it = states_.find(p);
-  if (it == states_.end() || it->second.last_scaling.empty()) return nullptr;
-  return &it->second.last_scaling;
+  auto it = slot_of_.find(p);
+  if (it == slot_of_.end() || it->second >= states_.size()) return nullptr;
+  const State& s = states_[it->second];
+  return s.last_scaling.empty() ? nullptr : &s.last_scaling;
 }
 
 }  // namespace apollo::core

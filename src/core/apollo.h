@@ -64,7 +64,13 @@ class Apollo : public optim::Optimizer {
  public:
   explicit Apollo(const ApolloConfig& cfg, std::string display_name = "");
 
-  void step(const nn::ParamList& params) override;
+  // All RNG draws (initial and refresh projection seeds) happen in
+  // begin_step(), in slot order, so step_param() is order-independent — the
+  // fused backward path may deliver parameters in completion order. SVD
+  // refreshes (data-dependent on the gradient) stay in step_param().
+  void begin_step(const nn::ParamList& params) override;
+  void step_param(nn::Parameter& p, int slot) override;
+  void end_step(const nn::ParamList& params) override;
   std::string name() const override { return display_name_; }
   int64_t state_bytes() const override;
 
@@ -98,6 +104,9 @@ class Apollo : public optim::Optimizer {
     return std::make_unique<Apollo>(c, "APOLLO-Mini");
   }
 
+ protected:
+  const char* step_trace_name() const override { return "Apollo::step"; }
+
  private:
   struct State {
     ProjectionSide side = ProjectionSide::kLeft;
@@ -107,23 +116,39 @@ class Apollo : public optim::Optimizer {
     int64_t local_t = 0;
     optim::NormGrowthLimiter limiter;
     std::vector<float> last_scaling;  // instrumentation
+    bool refresh = false;  // decided in begin_step() for the current step
   };
 
   // Per-step telemetry aggregated across matrix parameters (only filled
-  // when APOLLO_METRICS is active).
+  // when APOLLO_METRICS is active). Reset in begin_step, committed in
+  // end_step.
   struct StepStats {
     int64_t sites = 0;      // matrix params updated this step
     int64_t clipped = 0;    // norm-growth limiter activations
     int64_t refreshes = 0;  // projector re-seeds / SVD refreshes
   };
 
-  void update_matrix_param(nn::Parameter* p, StepStats* stats);
+  // Pure routing predicate — nothing shape-dependent to verify.
+  // lint:allow(check-shape-preconditions)
+  bool projected(const nn::Parameter& p) const {
+    // Rank-1 auxiliary space is meaningful for any matrix, so only 1-D
+    // parameters take the dense fallback (plus degenerate tiny matrices for
+    // ranks > smallest dim).
+    return p.matrix_shaped &&
+           std::min(p.value.rows(), p.value.cols()) >= cfg_.rank;
+  }
+  void update_matrix_param(nn::Parameter* p, State& s, StepStats* stats);
 
   ApolloConfig cfg_;
   std::string display_name_;
   optim::DenseAdamCore dense_;  // 1-D fallback (norm gains)
-  std::unordered_map<const nn::Parameter*, State> states_;
+  std::vector<State> states_;   // indexed by slot
+  // Pointer → slot translation for the last_scaling() instrumentation API
+  // (rebuilt every begin_step; cheap for the param counts we run).
+  std::unordered_map<const nn::Parameter*, size_t> slot_of_;
   Rng seeder_;
+  StepStats stats_;         // current-step aggregation
+  bool telemetry_ = false;  // snapshot of telemetry_enabled() for this step
 };
 
 }  // namespace apollo::core

@@ -2,8 +2,6 @@
 
 #include <cmath>
 
-#include "obs/trace.h"
-#include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
 namespace apollo::core {
@@ -17,82 +15,87 @@ std::string StructuredAdamW::name() const {
   return "?";
 }
 
-void StructuredAdamW::step(const nn::ParamList& params) {
-  APOLLO_TRACE_SCOPE("StructuredAdamW::step", "optim");
-  ++t_;
+void StructuredAdamW::begin_step(const nn::ParamList& params) {
+  Optimizer::begin_step(params);
+  if (states_.size() < params.size()) states_.resize(params.size());
+  for (size_t i = 0; i < params.size(); ++i) slot_of_[params[i]] = i;
+}
+
+void StructuredAdamW::step_param(nn::Parameter& p, int slot) {
+  APOLLO_CHECK_SAME_SHAPE(p.value, p.grad);
   const float b1 = cfg_.hyper.beta1, b2 = cfg_.hyper.beta2;
-  for (nn::Parameter* p : params) {
-    APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
-    State& s = states_[p];
-    const Matrix& g = p->grad;
-    if (s.m.size() == 0) {
-      s.m.reshape_discard(g.rows(), g.cols());
-      s.v.reshape_discard(g.rows(), g.cols());
-    }
-    ++s.local_t;
-    const float bc1 = 1.f - std::pow(b1, static_cast<float>(s.local_t));
-    const float bc2 = 1.f - std::pow(b2, static_cast<float>(s.local_t));
-
-    // Full-rank moments and the element-wise normalized gradient G̃.
-    Matrix gtilde(g.rows(), g.cols());
-    for (int64_t i = 0; i < g.size(); ++i) {
-      s.m[i] = b1 * s.m[i] + (1.f - b1) * g[i];
-      s.v[i] = b2 * s.v[i] + (1.f - b2) * g[i] * g[i];
-      gtilde[i] =
-          (s.m[i] / bc1) / (std::sqrt(s.v[i] / bc2) + cfg_.hyper.eps);
-    }
-
-    Matrix update;
-    const bool coarsen =
-        p->matrix_shaped && cfg_.granularity != LrGranularity::kElement;
-    if (!coarsen) {
-      update = std::move(gtilde);
-    } else if (cfg_.granularity == LrGranularity::kChannel) {
-      // Channels along the larger dimension (paper convention m ≤ n).
-      const bool cols_are_channels = g.rows() <= g.cols();
-      std::vector<float> num =
-          cols_are_channels ? col_norms(gtilde) : row_norms(gtilde);
-      std::vector<float> den =
-          cols_are_channels ? col_norms(g) : row_norms(g);
-      std::vector<float>& sf = s.last_scaling;
-      sf.resize(num.size());
-      for (size_t j = 0; j < sf.size(); ++j)
-        sf[j] = den[j] > 1e-30f ? num[j] / den[j] : 0.f;
-      update = g;
-      if (cols_are_channels)
-        scale_cols_inplace(update, sf);
-      else
-        scale_rows_inplace(update, sf);
-    } else {
-      const double num = frobenius_norm(gtilde);
-      const double den = frobenius_norm(g);
-      const float sf = den > 1e-30 ? static_cast<float>(num / den) : 0.f;
-      s.last_scaling.assign(1, sf);
-      update = g;
-      scale_inplace(update, sf);
-    }
-
-    if (coarsen && cfg_.use_norm_limiter) s.limiter.apply(update);
-
-    const float wd = cfg_.hyper.weight_decay;
-    for (int64_t i = 0; i < p->value.size(); ++i)
-      p->value[i] -= lr_ * (update[i] + wd * p->value[i]);
+  State& s = states_[static_cast<size_t>(slot)];
+  const Matrix& g = p.grad;
+  if (s.m.size() == 0) {
+    s.m.reshape_discard(g.rows(), g.cols());
+    s.v.reshape_discard(g.rows(), g.cols());
   }
-  optim::check_step_finite(params, name());
+  ++s.local_t;
+  const optim::BiasCorrection bc =
+      optim::bias_correction(cfg_.hyper, s.local_t);
+  const float bc1 = bc.c1, bc2 = bc.c2;
+
+  // Full-rank moments and the element-wise normalized gradient G̃.
+  Matrix gtilde(g.rows(), g.cols());
+  for (int64_t i = 0; i < g.size(); ++i) {
+    s.m[i] = b1 * s.m[i] + (1.f - b1) * g[i];
+    s.v[i] = b2 * s.v[i] + (1.f - b2) * g[i] * g[i];
+    gtilde[i] =
+        (s.m[i] / bc1) / (std::sqrt(s.v[i] / bc2) + cfg_.hyper.eps);
+  }
+
+  Matrix update;
+  const bool coarsen =
+      p.matrix_shaped && cfg_.granularity != LrGranularity::kElement;
+  if (!coarsen) {
+    update = std::move(gtilde);
+  } else if (cfg_.granularity == LrGranularity::kChannel) {
+    // Channels along the larger dimension (paper convention m ≤ n).
+    const bool cols_are_channels = g.rows() <= g.cols();
+    std::vector<float> num =
+        cols_are_channels ? col_norms(gtilde) : row_norms(gtilde);
+    std::vector<float> den =
+        cols_are_channels ? col_norms(g) : row_norms(g);
+    std::vector<float>& sf = s.last_scaling;
+    sf.resize(num.size());
+    for (size_t j = 0; j < sf.size(); ++j)
+      sf[j] = den[j] > 1e-30f ? num[j] / den[j] : 0.f;
+    update = g;
+    if (cols_are_channels)
+      scale_cols_inplace(update, sf);
+    else
+      scale_rows_inplace(update, sf);
+  } else {
+    const double num = frobenius_norm(gtilde);
+    const double den = frobenius_norm(g);
+    const float sf = den > 1e-30 ? static_cast<float>(num / den) : 0.f;
+    s.last_scaling.assign(1, sf);
+    update = g;
+    scale_inplace(update, sf);
+  }
+
+  if (coarsen && cfg_.use_norm_limiter) s.limiter.apply(update);
+
+  const float wd = cfg_.hyper.weight_decay;
+  for (int64_t i = 0; i < p.value.size(); ++i)
+    p.value[i] -= lr_ * (update[i] + wd * p.value[i]);
 }
 
 int64_t StructuredAdamW::state_bytes() const {
   int64_t b = 0;
-  for (const auto& [k, s] : states_)
+  for (const State& s : states_)
     b += (s.m.size() + s.v.size()) * static_cast<int64_t>(sizeof(float));
   return b;
 }
 
+// Read-only instrumentation lookup; unknown pointers return nullptr.
+// lint:allow(check-shape-preconditions)
 const std::vector<float>* StructuredAdamW::last_scaling(
     const nn::Parameter* p) const {
-  auto it = states_.find(p);
-  if (it == states_.end() || it->second.last_scaling.empty()) return nullptr;
-  return &it->second.last_scaling;
+  auto it = slot_of_.find(p);
+  if (it == slot_of_.end() || it->second >= states_.size()) return nullptr;
+  const State& s = states_[it->second];
+  return s.last_scaling.empty() ? nullptr : &s.last_scaling;
 }
 
 }  // namespace apollo::core

@@ -34,12 +34,18 @@ class StructuredAdamW : public optim::Optimizer {
  public:
   explicit StructuredAdamW(const StructuredAdamWConfig& cfg) : cfg_(cfg) {}
 
-  void step(const nn::ParamList& params) override;
+  void begin_step(const nn::ParamList& params) override;
+  void step_param(nn::Parameter& p, int slot) override;
   std::string name() const override;
   int64_t state_bytes() const override;
 
   // Full-rank channel scaling factors from the latest step (Fig. 4 golden).
   const std::vector<float>* last_scaling(const nn::Parameter* p) const;
+
+ protected:
+  const char* step_trace_name() const override {
+    return "StructuredAdamW::step";
+  }
 
  private:
   struct State {
@@ -50,7 +56,9 @@ class StructuredAdamW : public optim::Optimizer {
   };
 
   StructuredAdamWConfig cfg_;
-  std::unordered_map<const nn::Parameter*, State> states_;
+  std::vector<State> states_;  // indexed by slot
+  // Pointer → slot translation for the last_scaling() instrumentation API.
+  std::unordered_map<const nn::Parameter*, size_t> slot_of_;
 };
 
 }  // namespace apollo::core

@@ -3,8 +3,6 @@
 #include <algorithm>
 
 #include "core/threadpool.h"
-#include "obs/trace.h"
-#include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
 namespace apollo::optim {
@@ -22,27 +20,29 @@ float rms(const Matrix& m) {
 
 }  // namespace
 
-void Adafactor::step(const nn::ParamList& params) {
-  APOLLO_TRACE_SCOPE("Adafactor::step", "optim");
-  ++t_;
-  for (nn::Parameter* p : params) {
-    APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
-    State& s = states_[p];
-    ++s.local_t;
-    const float beta2t =
-        1.f - std::pow(static_cast<float>(s.local_t), -cfg_.beta2_exponent);
-    if (p->matrix_shaped && p->value.rows() > 1 && p->value.cols() > 1) {
-      update_matrix(p, s, beta2t);
-    } else {
-      update_vector(p, s, beta2t);
-    }
+void Adafactor::begin_step(const nn::ParamList& params) {
+  Optimizer::begin_step(params);
+  if (states_.size() < params.size()) states_.resize(params.size());
+}
+
+void Adafactor::step_param(nn::Parameter& p, int slot) {
+  APOLLO_CHECK_SAME_SHAPE(p.value, p.grad);
+  State& s = states_[static_cast<size_t>(slot)];
+  ++s.local_t;
+  const float beta2t =
+      1.f - std::pow(static_cast<float>(s.local_t), -cfg_.beta2_exponent);
+  if (p.matrix_shaped && p.value.rows() > 1 && p.value.cols() > 1) {
+    update_matrix(&p, s, beta2t);
+  } else {
+    update_vector(&p, s, beta2t);
   }
-  check_step_finite(params, name());
 }
 
 void Adafactor::update_matrix(nn::Parameter* p, State& s, float beta2t) {
   const Matrix& g = p->grad;
   const int64_t m = g.rows(), n = g.cols();
+  APOLLO_CHECK_GT(m, 1);
+  APOLLO_CHECK_GT(n, 1);
   if (s.vrow.empty()) {
     s.vrow.assign(static_cast<size_t>(m), 0.f);
     s.vcol.assign(static_cast<size_t>(n), 0.f);
@@ -134,6 +134,7 @@ void Adafactor::update_matrix(nn::Parameter* p, State& s, float beta2t) {
 
 void Adafactor::update_vector(nn::Parameter* p, State& s, float beta2t) {
   const Matrix& g = p->grad;
+  APOLLO_CHECK_GT(g.size(), 0);
   if (s.vfull.size() == 0) s.vfull.reshape_discard(g.rows(), g.cols());
   Matrix update(g.rows(), g.cols());
   for (int64_t i = 0; i < g.size(); ++i) {
@@ -149,7 +150,7 @@ void Adafactor::update_vector(nn::Parameter* p, State& s, float beta2t) {
 
 int64_t Adafactor::state_bytes() const {
   int64_t b = 0;
-  for (const auto& [k, s] : states_) {
+  for (const State& s : states_) {
     b += static_cast<int64_t>(s.vrow.size() + s.vcol.size()) * 4;
     b += (s.vfull.size() + s.m.size()) * 4;
   }

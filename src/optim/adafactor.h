@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cmath>
-#include <unordered_map>
 #include <vector>
 
 #include "optim/optimizer.h"
@@ -35,9 +34,13 @@ class Adafactor : public Optimizer {
  public:
   explicit Adafactor(const AdafactorConfig& cfg = {}) : cfg_(cfg) {}
 
-  void step(const nn::ParamList& params) override;
+  void begin_step(const nn::ParamList& params) override;
+  void step_param(nn::Parameter& p, int slot) override;
   std::string name() const override { return "Adafactor"; }
   int64_t state_bytes() const override;
+
+ protected:
+  const char* step_trace_name() const override { return "Adafactor::step"; }
 
  private:
   struct State {
@@ -52,7 +55,7 @@ class Adafactor : public Optimizer {
   void update_vector(nn::Parameter* p, State& s, float beta2t);
 
   AdafactorConfig cfg_;
-  std::unordered_map<const nn::Parameter*, State> states_;
+  std::vector<State> states_;  // indexed by slot
 };
 
 }  // namespace apollo::optim

@@ -6,10 +6,8 @@
 
 #include <cmath>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
-#include "obs/trace.h"
-#include "optim/finite_guard.h"
 #include "optim/optimizer.h"
 #include "quant/quant.h"
 
@@ -19,49 +17,52 @@ class Adam8bit : public Optimizer {
  public:
   explicit Adam8bit(const AdamHyper& hp = {}) : hp_(hp) {}
 
-  void step(const nn::ParamList& params) override {
-    APOLLO_TRACE_SCOPE("Adam8bit::step", "optim");
-    ++t_;
+  void begin_step(const nn::ParamList& params) override {
+    Optimizer::begin_step(params);
+    bc_ = bias_correction(hp_, t_);
+    if (states_.size() < params.size()) states_.resize(params.size());
+  }
+
+  void step_param(nn::Parameter& p, int slot) override {
+    APOLLO_CHECK_SAME_SHAPE(p.value, p.grad);
     const float b1 = hp_.beta1, b2 = hp_.beta2;
-    const float bc1 = 1.f - std::pow(b1, static_cast<float>(t_));
-    const float bc2 = 1.f - std::pow(b2, static_cast<float>(t_));
-    for (nn::Parameter* p : params) {
-      APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
-      State& s = states_[p];
-      const Matrix& g = p->grad;
-      if (!s.m) {
-        s.m = std::make_unique<BlockQuantized>(g.rows(), g.cols(), true);
-        s.v = std::make_unique<BlockQuantized>(g.rows(), g.cols(), false);
-      }
-      Matrix m = s.m->load();
-      Matrix v = s.v->load();
-      for (int64_t i = 0; i < g.size(); ++i) {
-        m[i] = b1 * m[i] + (1.f - b1) * g[i];
-        v[i] = b2 * v[i] + (1.f - b2) * g[i] * g[i];
-        p->value[i] -= lr_ * ((m[i] / bc1) /
-                                  (std::sqrt(v[i] / bc2) + hp_.eps) +
-                              hp_.weight_decay * p->value[i]);
-      }
-      s.m->store(m);
-      s.v->store(v);
+    State& s = states_[static_cast<size_t>(slot)];
+    const Matrix& g = p.grad;
+    if (!s.m) {
+      s.m = std::make_unique<BlockQuantized>(g.rows(), g.cols(), true);
+      s.v = std::make_unique<BlockQuantized>(g.rows(), g.cols(), false);
     }
-    check_step_finite(params, name());
+    Matrix m = s.m->load();
+    Matrix v = s.v->load();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      m[i] = b1 * m[i] + (1.f - b1) * g[i];
+      v[i] = b2 * v[i] + (1.f - b2) * g[i] * g[i];
+      p.value[i] -= lr_ * ((m[i] / bc_.c1) /
+                               (std::sqrt(v[i] / bc_.c2) + hp_.eps) +
+                           hp_.weight_decay * p.value[i]);
+    }
+    s.m->store(m);
+    s.v->store(v);
   }
 
   std::string name() const override { return "8-bit Adam"; }
   int64_t state_bytes() const override {
     int64_t b = 0;
-    for (const auto& [k, s] : states_)
+    for (const State& s : states_)
       if (s.m) b += s.m->bytes() + s.v->bytes();
     return b;
   }
+
+ protected:
+  const char* step_trace_name() const override { return "Adam8bit::step"; }
 
  private:
   struct State {
     std::unique_ptr<BlockQuantized> m, v;
   };
   AdamHyper hp_;
-  std::unordered_map<const nn::Parameter*, State> states_;
+  BiasCorrection bc_;
+  std::vector<State> states_;  // indexed by slot
 };
 
 }  // namespace apollo::optim

@@ -9,10 +9,8 @@
 #pragma once
 
 #include <cmath>
-#include <unordered_map>
+#include <vector>
 
-#include "obs/trace.h"
-#include "optim/finite_guard.h"
 #include "optim/optimizer.h"
 #include "tensor/matrix.h"
 
@@ -22,51 +20,53 @@ class AdamMini : public Optimizer {
  public:
   explicit AdamMini(const AdamHyper& hp = {}) : hp_(hp) {}
 
-  void step(const nn::ParamList& params) override {
-    APOLLO_TRACE_SCOPE("AdamMini::step", "optim");
-    ++t_;
-    const float b1 = hp_.beta1, b2 = hp_.beta2;
-    const float bc1 = 1.f - std::pow(b1, static_cast<float>(t_));
-    const float bc2 = 1.f - std::pow(b2, static_cast<float>(t_));
-    for (nn::Parameter* p : params) {
-      APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
-      State& s = states_[p];
-      const Matrix& g = p->grad;
-      const int64_t rows = g.rows(), cols = g.cols();
-      if (s.m.size() == 0) {
-        s.m.reshape_discard(rows, cols);
-        s.v.assign(static_cast<size_t>(rows), 0.f);
-      }
-      for (int64_t r = 0; r < rows; ++r) {
-        // Block mean of squared gradients for this row.
-        const float* gr = g.row(r);
-        double sq = 0;
-        for (int64_t c = 0; c < cols; ++c)
-          sq += static_cast<double>(gr[c]) * gr[c];
-        float& v = s.v[static_cast<size_t>(r)];
-        v = b2 * v + (1.f - b2) * static_cast<float>(sq / cols);
-        const float denom = std::sqrt(v / bc2) + hp_.eps;
+  void begin_step(const nn::ParamList& params) override {
+    Optimizer::begin_step(params);
+    bc_ = bias_correction(hp_, t_);
+    if (states_.size() < params.size()) states_.resize(params.size());
+  }
 
-        float* mr = s.m.row(r);
-        float* wr = p->value.row(r);
-        for (int64_t c = 0; c < cols; ++c) {
-          mr[c] = b1 * mr[c] + (1.f - b1) * gr[c];
-          wr[c] -= lr_ * ((mr[c] / bc1) / denom +
-                          hp_.weight_decay * wr[c]);
-        }
+  void step_param(nn::Parameter& p, int slot) override {
+    APOLLO_CHECK_SAME_SHAPE(p.value, p.grad);
+    const float b1 = hp_.beta1, b2 = hp_.beta2;
+    State& s = states_[static_cast<size_t>(slot)];
+    const Matrix& g = p.grad;
+    const int64_t rows = g.rows(), cols = g.cols();
+    if (s.m.size() == 0) {
+      s.m.reshape_discard(rows, cols);
+      s.v.assign(static_cast<size_t>(rows), 0.f);
+    }
+    for (int64_t r = 0; r < rows; ++r) {
+      // Block mean of squared gradients for this row.
+      const float* gr = g.row(r);
+      double sq = 0;
+      for (int64_t c = 0; c < cols; ++c)
+        sq += static_cast<double>(gr[c]) * gr[c];
+      float& v = s.v[static_cast<size_t>(r)];
+      v = b2 * v + (1.f - b2) * static_cast<float>(sq / cols);
+      const float denom = std::sqrt(v / bc_.c2) + hp_.eps;
+
+      float* mr = s.m.row(r);
+      float* wr = p.value.row(r);
+      for (int64_t c = 0; c < cols; ++c) {
+        mr[c] = b1 * mr[c] + (1.f - b1) * gr[c];
+        wr[c] -= lr_ * ((mr[c] / bc_.c1) / denom +
+                        hp_.weight_decay * wr[c]);
       }
     }
-    check_step_finite(params, name());
   }
 
   std::string name() const override { return "Adam-mini"; }
   int64_t state_bytes() const override {
     int64_t b = 0;
-    for (const auto& [k, s] : states_)
+    for (const State& s : states_)
       b += (s.m.size() + static_cast<int64_t>(s.v.size())) *
            static_cast<int64_t>(sizeof(float));
     return b;
   }
+
+ protected:
+  const char* step_trace_name() const override { return "AdamMini::step"; }
 
  private:
   struct State {
@@ -74,7 +74,8 @@ class AdamMini : public Optimizer {
     std::vector<float> v;  // one scalar per row-block
   };
   AdamHyper hp_;
-  std::unordered_map<const nn::Parameter*, State> states_;
+  BiasCorrection bc_;
+  std::vector<State> states_;  // indexed by slot
 };
 
 }  // namespace apollo::optim

@@ -4,25 +4,18 @@
 
 namespace apollo::optim {
 
-namespace {
-std::vector<const void*> keys_of(const nn::ParamList& params) {
-  std::vector<const void*> keys;
-  keys.reserve(params.size());
-  for (const nn::Parameter* p : params) keys.push_back(p);
-  return keys;
-}
-}  // namespace
-
-// Pure serialization: `params` only fixes key order, shapes are validated
-// by read_matrix/write_matrix.
+// Pure serialization: `params` only fixes the slot count, shapes are
+// validated by read_matrix/write_matrix.
 // lint:allow(check-shape-preconditions)
 bool AdamW::save_state(std::FILE* f, const nn::ParamList& params) const {
-  return write_pod(f, t_) && core_.save(f, keys_of(params));
+  return write_pod(f, t_) &&
+         core_.save(f, static_cast<int64_t>(params.size()));
 }
 
 // lint:allow(check-shape-preconditions)
 bool AdamW::load_state(std::FILE* f, const nn::ParamList& params) {
-  return read_pod(f, t_) && core_.load(f, keys_of(params));
+  return read_pod(f, t_) &&
+         core_.load(f, static_cast<int64_t>(params.size()));
 }
 
 }  // namespace apollo::optim

@@ -1,9 +1,7 @@
 // Full-rank AdamW (Loshchilov & Hutter) — the paper's primary baseline.
 #pragma once
 
-#include "obs/trace.h"
 #include "optim/dense_adam.h"
-#include "optim/finite_guard.h"
 
 namespace apollo::optim {
 
@@ -11,14 +9,9 @@ class AdamW : public Optimizer {
  public:
   explicit AdamW(const AdamHyper& hp = {}) : core_(hp) {}
 
-  void step(const nn::ParamList& params) override {
-    APOLLO_TRACE_SCOPE("AdamW::step", "optim");
-    ++t_;
-    for (nn::Parameter* p : params) {
-      APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
-      core_.update(p, p->value, p->grad, lr_, t_);
-    }
-    check_step_finite(params, name());
+  void step_param(nn::Parameter& p, int slot) override {
+    APOLLO_CHECK_SAME_SHAPE(p.value, p.grad);
+    core_.update(slot, p.value, p.grad, lr_, t_);
   }
 
   std::string name() const override { return "AdamW"; }
@@ -26,6 +19,9 @@ class AdamW : public Optimizer {
 
   bool save_state(std::FILE* f, const nn::ParamList& params) const override;
   bool load_state(std::FILE* f, const nn::ParamList& params) override;
+
+ protected:
+  const char* step_trace_name() const override { return "AdamW::step"; }
 
  private:
   DenseAdamCore core_;

@@ -7,18 +7,22 @@
 
 namespace apollo::optim {
 
-void DenseAdamCore::update(const void* key, Matrix& value,
+void DenseAdamCore::update(int64_t slot, Matrix& value,
                            const Matrix& grad, float lr, int64_t t) {
   APOLLO_CHECK_SAME_SHAPE(value, grad);
   APOLLO_CHECK_GE(t, 1);
-  State& s = states_[key];
+  APOLLO_CHECK_GE(slot, 0);
+  if (slot >= static_cast<int64_t>(states_.size()))
+    states_.resize(static_cast<size_t>(slot) + 1);
+  State& s = states_[static_cast<size_t>(slot)];
   if (s.m.size() == 0) {
     s.m.reshape_discard(grad.rows(), grad.cols());
     s.v.reshape_discard(grad.rows(), grad.cols());
   }
   const float b1 = hp_.beta1, b2 = hp_.beta2;
-  const float bc1 = 1.f - std::pow(b1, static_cast<float>(t));
-  const float bc2 = 1.f - std::pow(b2, static_cast<float>(t));
+  const BiasCorrection bc = bias_correction(hp_, t);
+  const float bc1 = bc.c1;
+  const float bc2 = bc.c2;
   // Element-disjoint update: safe to fan out over the deterministic pool.
   core::parallel_for(
       grad.size(),
@@ -36,25 +40,25 @@ void DenseAdamCore::update(const void* key, Matrix& value,
       /*grain=*/1 << 13);
 }
 
-bool DenseAdamCore::save(std::FILE* f,
-                         const std::vector<const void*>& keys) const {
-  for (const void* key : keys) {
-    auto it = states_.find(key);
-    static const Matrix kEmpty;
-    const Matrix& m = it == states_.end() ? kEmpty : it->second.m;
-    const Matrix& v = it == states_.end() ? kEmpty : it->second.v;
+bool DenseAdamCore::save(std::FILE* f, int64_t n_slots) const {
+  static const Matrix kEmpty;
+  for (int64_t i = 0; i < n_slots; ++i) {
+    const bool have = i < static_cast<int64_t>(states_.size());
+    const Matrix& m = have ? states_[static_cast<size_t>(i)].m : kEmpty;
+    const Matrix& v = have ? states_[static_cast<size_t>(i)].v : kEmpty;
     if (!write_matrix(f, m) || !write_matrix(f, v)) return false;
   }
   return true;
 }
 
-bool DenseAdamCore::load(std::FILE* f, const std::vector<const void*>& keys) {
+bool DenseAdamCore::load(std::FILE* f, int64_t n_slots) {
   states_.clear();
-  for (const void* key : keys) {
+  states_.resize(static_cast<size_t>(n_slots));
+  for (int64_t i = 0; i < n_slots; ++i) {
     Matrix m, v;
     if (!read_matrix(f, m) || !read_matrix(f, v)) return false;
-    if (m.size() == 0) continue;  // key had no state when saved
-    State& s = states_[key];
+    if (m.size() == 0) continue;  // slot had no state when saved
+    State& s = states_[static_cast<size_t>(i)];
     s.m = std::move(m);
     s.v = std::move(v);
   }

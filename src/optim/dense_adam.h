@@ -4,7 +4,6 @@
 // how the reference implementations treat non-2D tensors.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "optim/optimizer.h"
@@ -17,32 +16,40 @@ class DenseAdamCore {
   explicit DenseAdamCore(const AdamHyper& hp) : hp_(hp) {}
 
   // One AdamW update of `value` from `grad`; `t` is the 1-based step index
-  // used for bias correction. State is keyed by the parameter pointer.
-  void update(const void* key, Matrix& value, const Matrix& grad,
+  // used for bias correction. State is keyed by `slot` — the parameter's
+  // index in the owning optimizer's ParamList (owners with several moment
+  // sets per parameter map them to disjoint slot ranges). Slots are sparse:
+  // untouched slots hold no state.
+  void update(int64_t slot, Matrix& value, const Matrix& grad,
               float lr, int64_t t);
 
   int64_t state_bytes() const {
     int64_t b = 0;
-    for (const auto& [k, s] : states_)
+    for (const State& s : states_)
       b += (s.m.size() + s.v.size()) * static_cast<int64_t>(sizeof(float));
     return b;
   }
 
   void reset() { states_.clear(); }
-  // Drop the moments of one key (ReLoRA's optimizer-state reset on merge).
-  void reset_key(const void* key) { states_.erase(key); }
+  // Drop the moments of one slot (ReLoRA's optimizer-state reset on merge).
+  void reset_slot(int64_t slot) {
+    if (slot < static_cast<int64_t>(states_.size()))
+      states_[static_cast<size_t>(slot)] = State();
+  }
 
-  // Serialize the moments of `keys` (in order; absent keys are written as
-  // empty matrices). Used by the owning optimizer's save_state.
-  bool save(std::FILE* f, const std::vector<const void*>& keys) const;
-  bool load(std::FILE* f, const std::vector<const void*>& keys);
+  // Serialize the moments of slots [0, n_slots) in order; slots without
+  // state are written as empty matrices. Used by the owning optimizer's
+  // save_state; the record layout matches the old pointer-keyed format, so
+  // existing checkpoints stay byte-compatible.
+  bool save(std::FILE* f, int64_t n_slots) const;
+  bool load(std::FILE* f, int64_t n_slots);
 
  private:
   struct State {
     Matrix m, v;
   };
   AdamHyper hp_;
-  std::unordered_map<const void*, State> states_;
+  std::vector<State> states_;  // indexed by slot; empty m ⇒ no state
 };
 
 }  // namespace apollo::optim

@@ -7,7 +7,6 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
-#include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
 namespace apollo::optim {
@@ -18,63 +17,74 @@ GaLore::GaLore(const GaloreConfig& cfg, std::string display_name)
   APOLLO_CHECK(cfg.rank >= 1);
 }
 
-void GaLore::step(const nn::ParamList& params) {
-  APOLLO_TRACE_SCOPE("GaLore::step", "optim");
-  ++t_;
-  for (nn::Parameter* p : params) {
-    APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
-    if (!p->matrix_shaped || std::min(p->value.rows(), p->value.cols()) <=
-                                 cfg_.rank) {
-      // 1-D gains and matrices already at/below the target rank get dense
-      // AdamW (projection would not save anything).
-      dense_.update(p, p->value, p->grad, lr_, t_);
-      continue;
+void GaLore::begin_step(const nn::ParamList& params) {
+  Optimizer::begin_step(params);
+  if (states_.size() < params.size()) states_.resize(params.size());
+  // Everything order-sensitive happens here, iterating params in slot
+  // order: seeder_ draws, refresh decisions, local step counters. This
+  // keeps the RNG stream identical whether step_param() is later called
+  // in slot order (compat step()) or in backward-completion order (fused).
+  for (size_t i = 0; i < params.size(); ++i) {
+    nn::Parameter* p = params[i];
+    if (!projected(*p)) continue;  // dense fallback: no per-slot decisions
+    State& s = states_[i];
+    if (s.local_t == 0) {
+      s.side = natural_side(p->value.rows(), p->value.cols());
+      s.proj_seed = seeder_.split();
     }
-    update_matrix_param(p);
+    s.refresh = s.local_t % cfg_.update_freq == 0;
+    ++s.local_t;
+    if (s.refresh) {
+      if (obs::trace_enabled()) obs::trace_instant("proj_refresh", "optim");
+      if (obs::telemetry_enabled())
+        obs::Registry::instance()
+            .counter("optim.galore.proj_refreshes")
+            .add(1);
+    }
+    // GoLore mode: fall back to random projections once the switch point
+    // is reached (gradient noise dominates late; random projections
+    // provably suffice there — He et al., 2024).
+    s.kind = (cfg_.switch_to_random_after >= 0 &&
+              s.local_t > cfg_.switch_to_random_after)
+                 ? ProjKind::kRandom
+                 : cfg_.proj;
+    // Random projector seeds are re-drawn every update_freq steps (new
+    // subspace directions).
+    if (s.kind == ProjKind::kRandom && s.refresh && s.local_t > 1)
+      s.proj_seed = seeder_.split();
   }
-  check_step_finite(params, name());
 }
 
-void GaLore::update_matrix_param(nn::Parameter* p) {
-  State& s = states_[p];
+void GaLore::step_param(nn::Parameter& p, int slot) {
+  APOLLO_CHECK_SAME_SHAPE(p.value, p.grad);
+  if (!projected(p)) {
+    // 1-D gains and matrices already at/below the target rank get dense
+    // AdamW (projection would not save anything).
+    dense_.update(slot, p.value, p.grad, lr_, t_);
+    return;
+  }
+  update_matrix_param(&p, states_[static_cast<size_t>(slot)]);
+}
+
+void GaLore::update_matrix_param(nn::Parameter* p, State& s) {
+  APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
   const Matrix& g = p->grad;
   const int64_t r = cfg_.rank;
 
-  if (s.local_t == 0) {
-    s.side = natural_side(g.rows(), g.cols());
-    s.proj_seed = seeder_.split();
-  }
-  const bool refresh = s.local_t % cfg_.update_freq == 0;
-  ++s.local_t;
-  if (refresh) {
-    if (obs::trace_enabled()) obs::trace_instant("proj_refresh", "optim");
-    if (obs::telemetry_enabled())
-      obs::Registry::instance()
-          .counter("optim.galore.proj_refreshes")
-          .add(1);
-  }
-
   // --- projector ----------------------------------------------------------
-  // GoLore mode: fall back to random projections once the switch point is
-  // reached (gradient noise dominates late; random projections provably
-  // suffice there — He et al., 2024).
-  const ProjKind kind = (cfg_.switch_to_random_after >= 0 &&
-                         s.local_t > cfg_.switch_to_random_after)
-                            ? ProjKind::kRandom
-                            : cfg_.proj;
+  // Refresh/seed/kind decisions were made in begin_step(); only the
+  // (possibly expensive) projector materialization happens here.
   Matrix proj;  // the projector used this step
-  if (kind == ProjKind::kSvd) {
-    if (refresh) {
+  if (s.kind == ProjKind::kSvd) {
+    if (s.refresh) {
       s.projector = s.side == ProjectionSide::kLeft
                         ? svd_left_projector(g, r)
                         : svd_right_projector(g, r);
     }
     proj = s.projector;
   } else {
-    // Random projector: never stored — regenerated from the seed, which is
-    // re-drawn every update_freq steps (new subspace directions).
+    // Random projector: never stored — regenerated from the seed.
     s.projector.reshape_discard(0, 0);  // drop any stored SVD projector
-    if (refresh && s.local_t > 1) s.proj_seed = seeder_.split();
     const int64_t small_dim =
         s.side == ProjectionSide::kLeft ? g.rows() : g.cols();
     proj = gaussian_projection(r, small_dim, s.proj_seed);
@@ -97,8 +107,8 @@ void GaLore::update_matrix_param(nn::Parameter* p) {
   }
 
   const float b1 = cfg_.hyper.beta1, b2 = cfg_.hyper.beta2;
-  const float bc1 = 1.f - std::pow(b1, static_cast<float>(s.local_t));
-  const float bc2 = 1.f - std::pow(b2, static_cast<float>(s.local_t));
+  const BiasCorrection bc = bias_correction(cfg_.hyper, s.local_t);
+  const float bc1 = bc.c1, bc2 = bc.c2;
   Matrix norm_update(rg.rows(), rg.cols());
   core::parallel_for(
       rg.size(),
@@ -161,7 +171,8 @@ void GaLore::update_matrix_param(nn::Parameter* p) {
 
 int64_t GaLore::state_bytes() const {
   int64_t b = dense_.state_bytes();
-  for (const auto& [k, s] : states_) {
+  for (const State& s : states_) {
+    if (s.local_t == 0) continue;  // slot never projected (dense or unseen)
     b += s.projector.size() * static_cast<int64_t>(sizeof(float));
     b += (s.m.size() + s.v.size()) * static_cast<int64_t>(sizeof(float));
     if (s.qm) b += s.qm->bytes() + s.qv->bytes();

@@ -15,8 +15,9 @@
 // 1-D parameters fall back to dense AdamW, as in the reference code.
 #pragma once
 
+#include <algorithm>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "linalg/projection.h"
 #include "optim/dense_adam.h"
@@ -49,7 +50,11 @@ class GaLore : public Optimizer {
  public:
   GaLore(const GaloreConfig& cfg, std::string display_name = "GaLore");
 
-  void step(const nn::ParamList& params) override;
+  // All RNG draws (initial and refresh projection seeds) happen here, in
+  // slot order, so step_param() is order-independent — the fused backward
+  // path may deliver parameters in completion order.
+  void begin_step(const nn::ParamList& params) override;
+  void step_param(nn::Parameter& p, int slot) override;
   std::string name() const override { return display_name_; }
   int64_t state_bytes() const override;
 
@@ -88,6 +93,9 @@ class GaLore : public Optimizer {
     return std::make_unique<GaLore>(cfg, "GoLore");
   }
 
+ protected:
+  const char* step_trace_name() const override { return "GaLore::step"; }
+
  private:
   struct State {
     ProjectionSide side = ProjectionSide::kLeft;
@@ -97,14 +105,23 @@ class GaLore : public Optimizer {
     std::unique_ptr<BlockQuantized> qm, qv;  // 8-bit path
     int64_t local_t = 0;
     NormGrowthLimiter limiter;
+    // Decided in begin_step() for the current step:
+    bool refresh = false;
+    ProjKind kind = ProjKind::kSvd;
   };
 
-  void update_matrix_param(nn::Parameter* p);
+  // Pure routing predicate — nothing shape-dependent to verify.
+  // lint:allow(check-shape-preconditions)
+  bool projected(const nn::Parameter& p) const {
+    return p.matrix_shaped &&
+           std::min(p.value.rows(), p.value.cols()) > cfg_.rank;
+  }
+  void update_matrix_param(nn::Parameter* p, State& s);
 
   GaloreConfig cfg_;
   std::string display_name_;
   DenseAdamCore dense_;  // 1-D fallback
-  std::unordered_map<const nn::Parameter*, State> states_;
+  std::vector<State> states_;  // indexed by slot
   Rng seeder_;
 };
 

@@ -3,8 +3,6 @@
 #include <cmath>
 
 #include "linalg/svd.h"
-#include "obs/trace.h"
-#include "optim/finite_guard.h"
 #include "tensor/ops.h"
 
 namespace apollo::optim {
@@ -27,6 +25,7 @@ std::string LowRankAdapter::name() const {
 void LowRankAdapter::init_state(nn::Parameter* p, State& s) {
   const int64_t out = p->value.rows(), in = p->value.cols();
   const int64_t r = cfg_.rank;
+  APOLLO_CHECK_GT(std::min(out, in), r);
   s.a.reshape_discard(r, in);
   s.b.reshape_discard(out, r);
   if (cfg_.kind == AdapterKind::kFactorized) {
@@ -58,6 +57,7 @@ void LowRankAdapter::init_state(nn::Parameter* p, State& s) {
 }
 
 void LowRankAdapter::recompose(nn::Parameter* p, State& s) {
+  APOLLO_CHECK_EQ(s.b.cols(), s.a.rows());
   Matrix w = matmul(s.b, s.a);
   if (cfg_.kind != AdapterKind::kFactorized) add_inplace(w, s.w0);
   if (cfg_.kind == AdapterKind::kDora) {
@@ -73,57 +73,79 @@ void LowRankAdapter::recompose(nn::Parameter* p, State& s) {
   p->value = std::move(w);
 }
 
-void LowRankAdapter::step(const nn::ParamList& params) {
-  APOLLO_TRACE_SCOPE("LowRankAdapter::step", "optim");
-  ++t_;
-  for (nn::Parameter* p : params) {
-    APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
-    if (!p->matrix_shaped ||
-        std::min(p->value.rows(), p->value.cols()) <= cfg_.rank) {
-      dense_.update(p, p->value, p->grad, lr_, t_);
-      continue;
-    }
-    State& s = states_[p];
+void LowRankAdapter::begin_step(const nn::ParamList& params) {
+  Optimizer::begin_step(params);
+  if (states_.size() < params.size()) states_.resize(params.size());
+  // Adapter initialization draws from rng_, so it runs here in slot order
+  // (step_param may be called in backward-completion order under the fused
+  // path). Values are untouched at this point, so the SVD/Kaiming inits see
+  // exactly what the old in-loop init saw.
+  for (size_t i = 0; i < params.size(); ++i) {
+    nn::Parameter* p = params[i];
+    if (!adapted(*p)) continue;
+    State& s = states_[i];
     if (!s.initialized) {
       init_state(p, s);
       s.initialized = true;
     }
     ++s.local_t;
+  }
+}
 
-    Matrix g = p->grad;  // dense dL/dW
-    if (cfg_.kind == AdapterKind::kDora) {
-      // First-order DoRA: train the row magnitudes on the direction-aligned
-      // component, pass the rescaled gradient to the direction factors.
-      Matrix dir = matmul(s.b, s.a);
-      add_inplace(dir, s.w0);
-      auto norms = row_norms(dir);
-      Matrix dmag(s.mag.rows(), 1);
-      for (int64_t i = 0; i < g.rows(); ++i) {
-        const float n = std::max(norms[static_cast<size_t>(i)], 1e-12f);
-        const float* gr = g.row(i);
-        const float* dr = dir.row(i);
-        double dot = 0;
-        for (int64_t c = 0; c < g.cols(); ++c)
-          dot += static_cast<double>(gr[c]) * dr[c] / n;
-        dmag.at(i, 0) = static_cast<float>(dot);
-        // Chain rule through the magnitude rescaling (normalization
-        // coupling dropped — first-order approximation).
-        const float rescale = s.mag.at(i, 0) / n;
-        float* grow = g.row(i);
-        for (int64_t c = 0; c < g.cols(); ++c) grow[c] *= rescale;
-      }
-      factor_adam_.update(&s.mag, s.mag, dmag, lr_, s.local_t);
+void LowRankAdapter::step_param(nn::Parameter& p, int slot) {
+  APOLLO_CHECK_SAME_SHAPE(p.value, p.grad);
+  if (!adapted(p)) {
+    dense_.update(slot, p.value, p.grad, lr_, t_);
+    return;
+  }
+  State& s = states_[static_cast<size_t>(slot)];
+  const int64_t sub = 3 * static_cast<int64_t>(slot);  // factor_adam_ base
+
+  Matrix g = p.grad;  // dense dL/dW
+  if (cfg_.kind == AdapterKind::kDora) {
+    // First-order DoRA: train the row magnitudes on the direction-aligned
+    // component, pass the rescaled gradient to the direction factors.
+    Matrix dir = matmul(s.b, s.a);
+    add_inplace(dir, s.w0);
+    auto norms = row_norms(dir);
+    Matrix dmag(s.mag.rows(), 1);
+    for (int64_t i = 0; i < g.rows(); ++i) {
+      const float n = std::max(norms[static_cast<size_t>(i)], 1e-12f);
+      const float* gr = g.row(i);
+      const float* dr = dir.row(i);
+      double dot = 0;
+      for (int64_t c = 0; c < g.cols(); ++c)
+        dot += static_cast<double>(gr[c]) * dr[c] / n;
+      dmag.at(i, 0) = static_cast<float>(dot);
+      // Chain rule through the magnitude rescaling (normalization
+      // coupling dropped — first-order approximation).
+      const float rescale = s.mag.at(i, 0) / n;
+      float* grow = g.row(i);
+      for (int64_t c = 0; c < g.cols(); ++c) grow[c] *= rescale;
     }
+    factor_adam_.update(sub, s.mag, dmag, lr_, s.local_t);
+  }
 
-    // Exact factor gradients for W(+W0) = B·A: dB = G·Aᵀ, dA = Bᵀ·G.
-    Matrix db = matmul_bt(g, s.a);
-    Matrix da = matmul_at(s.b, g);
-    factor_adam_.update(&s.b, s.b, db, lr_, s.local_t);
-    factor_adam_.update(&s.a, s.a, da, lr_, s.local_t);
-    recompose(p, s);
+  // Exact factor gradients for W(+W0) = B·A: dB = G·Aᵀ, dA = Bᵀ·G.
+  Matrix db = matmul_bt(g, s.a);
+  Matrix da = matmul_at(s.b, g);
+  factor_adam_.update(sub + 1, s.b, db, lr_, s.local_t);
+  factor_adam_.update(sub + 2, s.a, da, lr_, s.local_t);
+  recompose(&p, s);
+}
 
-    if (cfg_.kind == AdapterKind::kRelora &&
-        s.local_t % cfg_.merge_freq == 0) {
+void LowRankAdapter::end_step(const nn::ParamList& params) {
+  if (cfg_.kind == AdapterKind::kRelora) {
+    // ReLoRA restarts draw from rng_, so they run here in slot order after
+    // every parameter has been recomposed (the merge reads p->value, which
+    // step_param already finalized for this step).
+    for (size_t i = 0; i < params.size(); ++i) {
+      nn::Parameter* p = params[i];
+      if (!adapted(*p)) continue;
+      State& s = states_[i];
+      if (!s.initialized || s.local_t == 0 ||
+          s.local_t % cfg_.merge_freq != 0)
+        continue;
       // Merge the adapter into the base and restart from a fresh subspace —
       // this is what lets ReLoRA accumulate rank over time.
       s.w0 = p->value;
@@ -131,17 +153,17 @@ void LowRankAdapter::step(const nn::ParamList& params) {
                         1.f / std::sqrt(static_cast<float>(s.a.cols())));
       s.b.zero();
       s.local_t = 0;  // restart bias correction with the fresh subspace
-      factor_adam_.reset_key(&s.a);
-      factor_adam_.reset_key(&s.b);
+      factor_adam_.reset_slot(3 * static_cast<int64_t>(i) + 2);  // A
+      factor_adam_.reset_slot(3 * static_cast<int64_t>(i) + 1);  // B
     }
   }
-  check_step_finite(params, name());
+  Optimizer::end_step(params);
 }
 
 int64_t LowRankAdapter::state_bytes() const {
   // Factors + their Adam moments + (DoRA) magnitudes.
   int64_t b = dense_.state_bytes() + factor_adam_.state_bytes();
-  for (const auto& [k, s] : states_)
+  for (const State& s : states_)
     b += (s.a.size() + s.b.size() + s.mag.size()) *
          static_cast<int64_t>(sizeof(float));
   return b;

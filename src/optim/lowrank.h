@@ -13,8 +13,9 @@
 // (LoRA-family struggles at pre-training, is fine at fine-tuning).
 #pragma once
 
+#include <algorithm>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "optim/dense_adam.h"
 #include "optim/optimizer.h"
@@ -42,9 +43,19 @@ class LowRankAdapter : public Optimizer {
  public:
   explicit LowRankAdapter(const AdapterConfig& cfg);
 
-  void step(const nn::ParamList& params) override;
+  // All rng_ draws (adapter inits, ReLoRA restarts) happen in begin_step /
+  // end_step, in slot order, so step_param() is order-independent — the
+  // fused backward path may deliver parameters in completion order.
+  void begin_step(const nn::ParamList& params) override;
+  void step_param(nn::Parameter& p, int slot) override;
+  void end_step(const nn::ParamList& params) override;
   std::string name() const override;
   int64_t state_bytes() const override;
+
+ protected:
+  const char* step_trace_name() const override {
+    return "LowRankAdapter::step";
+  }
 
  private:
   struct State {
@@ -56,15 +67,21 @@ class LowRankAdapter : public Optimizer {
     bool initialized = false;
   };
 
+  // Pure routing predicate — nothing shape-dependent to verify.
+  // lint:allow(check-shape-preconditions)
+  bool adapted(const nn::Parameter& p) const {
+    return p.matrix_shaped &&
+           std::min(p.value.rows(), p.value.cols()) > cfg_.rank;
+  }
   void init_state(nn::Parameter* p, State& s);
   void recompose(nn::Parameter* p, State& s);
 
   AdapterConfig cfg_;
-  DenseAdamCore factor_adam_;  // states for A and B (keyed by sub-params)
-  DenseAdamCore dense_;        // 1-D fallback
-  // Node-based map: State addresses are stable, so &s.a / &s.b / &s.mag act
-  // as the moment keys inside factor_adam_.
-  std::unordered_map<const nn::Parameter*, State> states_;
+  // Moments for the factors live in factor_adam_ under fixed sub-slots per
+  // parameter slot: mag = 3·slot, B = 3·slot+1, A = 3·slot+2.
+  DenseAdamCore factor_adam_;
+  DenseAdamCore dense_;        // 1-D fallback (keyed by the param slot)
+  std::vector<State> states_;  // indexed by slot
   Rng rng_;
 };
 

@@ -1,0 +1,32 @@
+#include "optim/optimizer.h"
+
+#include <climits>
+
+#include "obs/trace.h"
+#include "optim/finite_guard.h"
+
+namespace apollo::optim {
+
+void Optimizer::begin_step(const nn::ParamList& params) {
+  // Slot indices are ints; the model would have to be absurd to overflow,
+  // but the contract is part of the API.
+  APOLLO_CHECK_LT(params.size(), static_cast<size_t>(INT_MAX));
+  ++t_;
+}
+
+void Optimizer::end_step(const nn::ParamList& params) {
+  APOLLO_CHECK_GE(t_, 1);  // end_step without begin_step
+  check_step_finite(params, name());
+}
+
+// Pure delegation — preconditions live in begin_step/step_param.
+// lint:allow(check-shape-preconditions)
+void Optimizer::step(const nn::ParamList& params) {
+  APOLLO_TRACE_SCOPE(step_trace_name(), "optim");
+  begin_step(params);
+  for (size_t i = 0; i < params.size(); ++i)
+    step_param(*params[i], static_cast<int>(i));
+  end_step(params);
+}
+
+}  // namespace apollo::optim

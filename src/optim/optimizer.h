@@ -6,8 +6,31 @@
 // step by the scheduler (train/schedule.h). `state_bytes()` reports the
 // *actual* bytes held in optimizer state, which the tests cross-check
 // against the closed-form Table-1 formulas in sysmodel/memory_model.h.
+//
+// The update API is streaming: a step is
+//
+//     begin_step(params);
+//     step_param(*params[i], i);   // once per parameter, in ANY order
+//     end_step(params);
+//
+// begin_step performs every whole-step decision that must happen in a fixed
+// order — the shared step-counter increment, RNG draws for projection seeds,
+// state-slot allocation — so the per-parameter updates are order-independent
+// and mathematically independent. That independence is what lets the fused
+// trainer path (train/trainer.cpp, APOLLO_FUSED_UPDATE=1) apply step_param
+// inside Tape::backward the moment a layer's gradient is final, keeping peak
+// gradient memory at O(largest layer) instead of O(all parameters) — the
+// paper's layer-wise gradient update (§5.4, Lv et al. 2023).
+//
+// Per-parameter state is keyed by the parameter's *slot* — its index in the
+// canonical ParamList — which also fixes the save_state/load_state record
+// order (unchanged from the pointer-keyed era, so v3 checkpoints stay
+// byte-compatible).
+//
+// step(params) remains as a thin compatibility loop over the streaming API.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -20,12 +43,31 @@ class Optimizer {
  public:
   virtual ~Optimizer() = default;
 
-  virtual void step(const nn::ParamList& params) = 0;
+  // --- streaming per-parameter update API --------------------------------
+
+  // Advances the shared step counter and performs all order-sensitive
+  // whole-step work (seed draws, projector-refresh decisions, slot
+  // allocation) by iterating `params` in slot order. Overrides must call the
+  // base first.
+  virtual void begin_step(const nn::ParamList& params);
+  // Applies this step's update to one parameter. `slot` is the parameter's
+  // index in the ParamList passed to begin_step. Calls between a
+  // begin_step/end_step pair may arrive in any order; each parameter exactly
+  // once.
+  virtual void step_param(nn::Parameter& p, int slot) = 0;
+  // Whole-step epilogue: deferred order-sensitive work (ReLoRA merges,
+  // telemetry flush) and the post-step finite check. Overrides call the base
+  // last.
+  virtual void end_step(const nn::ParamList& params);
+
+  // Two-phase compatibility path: begin → every param in slot order → end.
+  void step(const nn::ParamList& params);
+
   virtual std::string name() const = 0;
   virtual int64_t state_bytes() const = 0;
 
   // Optional state serialization for exact training resume. `params` fixes
-  // the key order (states are stored per-parameter in list order). An
+  // the key order (states are stored per-slot in list order). An
   // optimizer without support returns false; checkpoints then carry only
   // the weights. Implemented by AdamW and the APOLLO series.
   // Default no-ops never touch the arguments, so there is nothing to check.
@@ -55,6 +97,10 @@ class Optimizer {
   int64_t steps_taken() const { return t_; }
 
  protected:
+  // Label for the step() trace slice. Must return a string literal (the
+  // tracer stores the pointer, obs/trace.h).
+  virtual const char* step_trace_name() const { return "Optimizer::step"; }
+
   float lr_ = 1e-3f;
   int64_t t_ = 0;
 };
@@ -66,5 +112,17 @@ struct AdamHyper {
   float eps = 1e-8f;
   float weight_decay = 0.f;
 };
+
+// Adam bias-correction factors 1 − β₁ᵗ / 1 − β₂ᵗ — the per-step bookkeeping
+// every Adam-derived method used to recompute inline.
+struct BiasCorrection {
+  float c1 = 1.f;
+  float c2 = 1.f;
+};
+
+inline BiasCorrection bias_correction(const AdamHyper& hp, int64_t t) {
+  return {1.f - std::pow(hp.beta1, static_cast<float>(t)),
+          1.f - std::pow(hp.beta2, static_cast<float>(t))};
+}
 
 }  // namespace apollo::optim

@@ -5,10 +5,8 @@
 // integration tests confirm under-performs the adaptive methods.
 #pragma once
 
-#include <unordered_map>
+#include <vector>
 
-#include "obs/trace.h"
-#include "optim/finite_guard.h"
 #include "optim/optimizer.h"
 #include "tensor/ops.h"
 
@@ -19,25 +17,25 @@ class Sgd : public Optimizer {
   explicit Sgd(float momentum = 0.f, float weight_decay = 0.f)
       : momentum_(momentum), weight_decay_(weight_decay) {}
 
-  void step(const nn::ParamList& params) override {
-    APOLLO_TRACE_SCOPE("Sgd::step", "optim");
-    ++t_;
-    for (nn::Parameter* p : params) {
-      APOLLO_CHECK_SAME_SHAPE(p->value, p->grad);
-      if (momentum_ == 0.f) {
-        for (int64_t i = 0; i < p->value.size(); ++i)
-          p->value[i] -=
-              lr_ * (p->grad[i] + weight_decay_ * p->value[i]);
-        continue;
-      }
-      Matrix& buf = momentum_buf_[p];
-      if (buf.size() == 0) buf.reshape_discard(p->grad.rows(), p->grad.cols());
-      for (int64_t i = 0; i < p->value.size(); ++i) {
-        buf[i] = momentum_ * buf[i] + p->grad[i];
-        p->value[i] -= lr_ * (buf[i] + weight_decay_ * p->value[i]);
-      }
+  void begin_step(const nn::ParamList& params) override {
+    Optimizer::begin_step(params);
+    if (momentum_ != 0.f && momentum_buf_.size() < params.size())
+      momentum_buf_.resize(params.size());
+  }
+
+  void step_param(nn::Parameter& p, int slot) override {
+    APOLLO_CHECK_SAME_SHAPE(p.value, p.grad);
+    if (momentum_ == 0.f) {
+      for (int64_t i = 0; i < p.value.size(); ++i)
+        p.value[i] -= lr_ * (p.grad[i] + weight_decay_ * p.value[i]);
+      return;
     }
-    check_step_finite(params, name());
+    Matrix& buf = momentum_buf_[static_cast<size_t>(slot)];
+    if (buf.size() == 0) buf.reshape_discard(p.grad.rows(), p.grad.cols());
+    for (int64_t i = 0; i < p.value.size(); ++i) {
+      buf[i] = momentum_ * buf[i] + p.grad[i];
+      p.value[i] -= lr_ * (buf[i] + weight_decay_ * p.value[i]);
+    }
   }
 
   std::string name() const override {
@@ -45,15 +43,18 @@ class Sgd : public Optimizer {
   }
   int64_t state_bytes() const override {
     int64_t b = 0;
-    for (const auto& [k, m] : momentum_buf_)
+    for (const Matrix& m : momentum_buf_)
       b += m.size() * static_cast<int64_t>(sizeof(float));
     return b;
   }
 
+ protected:
+  const char* step_trace_name() const override { return "Sgd::step"; }
+
  private:
   float momentum_;
   float weight_decay_;
-  std::unordered_map<const nn::Parameter*, Matrix> momentum_buf_;
+  std::vector<Matrix> momentum_buf_;  // indexed by slot (momentum only)
 };
 
 }  // namespace apollo::optim

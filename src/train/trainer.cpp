@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "fault/fault_injection.h"
 #include "obs/metrics.h"
@@ -20,11 +21,14 @@ namespace {
 
 // Global gradient norm across all parameters — per-tensor norms accumulate
 // sequentially in doubles, matching the repo's reduction determinism rule.
+// std::fma pins the accumulate to a single rounding so the fused path's
+// slot-ordered reduction over the same norms is bit-identical (contraction
+// of `acc += n * n` is otherwise at the compiler's discretion per site).
 double global_grad_norm(const nn::ParamList& params) {
   double acc = 0;
   for (const nn::Parameter* p : params) {
     const double n = frobenius_norm(p->grad);
-    acc += n * n;
+    acc = std::fma(n, n, acc);
   }
   return std::sqrt(acc);
 }
@@ -35,6 +39,11 @@ double global_grad_norm(const nn::ParamList& params) {
 void skip_batches(data::BatchLoader& loader, int64_t n) {
   std::vector<int32_t> ids, targets;
   for (int64_t i = 0; i < n; ++i) loader.next(ids, targets);
+}
+
+bool fused_env_enabled() {
+  const char* e = std::getenv("APOLLO_FUSED_UPDATE");
+  return e != nullptr && e[0] != '\0' && e[0] != '0';
 }
 
 }  // namespace
@@ -125,6 +134,79 @@ TrainResult Trainer::run() {
   // (grad-norm reduction, timing, JSONL write) is never taken.
   const bool telemetry = obs::telemetry_enabled();
   const bool faults = fault::enabled();
+  const bool fused_requested = cfg_.fused_update || fused_env_enabled();
+  const bool fused = fused_requested && accum == 1 && !faults;
+  if (fused_requested && !fused)
+    std::fprintf(stderr,
+                 "[train] fused update requested but unavailable (%s); "
+                 "falling back to the unfused step\n",
+                 accum > 1 ? "grad_accum > 1" : "fault injection active");
+
+  // Shared watchdog rollback/abort handling (the unfused path calls it from
+  // the pre-step check, the fused path also post-hoc on a non-finite
+  // gradient norm). kRetry rewinds `step` to the rollback target.
+  enum class WdAction { kRetry, kAbort };
+  auto handle_divergence = [&](int& step, const std::string& why) {
+    ++res.rollbacks;
+    obs::Registry::instance().counter("watchdog.rollbacks").add(1);
+    if (retries >= rc.wd.max_retries) {
+      // Escalation ladder: tighten the norm-growth limiter once and
+      // grant a final retry budget, then abort with diagnostics.
+      if (!limiter_tightened &&
+          opt_.tighten_norm_limiter(rc.wd.limiter_tighten)) {
+        limiter_tightened = true;
+        retries = 0;
+        std::fprintf(stderr,
+                     "[watchdog] retry budget exhausted; tightened "
+                     "norm-growth limiter, granting a final budget\n");
+      } else {
+        res.diverged = true;
+        res.divergence_diagnostics =
+            "diverged at step " + std::to_string(step) + ": " + why + "; " +
+            std::to_string(res.rollbacks) + " rollback(s), lr " + "scale " +
+            std::to_string(backoff.scale()) +
+            ", last good checkpoint at step " +
+            std::to_string(last_ckpt_step);
+        std::fprintf(stderr, "[watchdog] aborting: %s\n",
+                     res.divergence_diagnostics.c_str());
+        if (last_ckpt_step >= 0)
+          load_checkpoint(
+              CheckpointRotator::path_for(rc.ckpt_dir, last_ckpt_step),
+              model_, &opt_);
+        return WdAction::kAbort;
+      }
+    }
+    ++retries;
+    APOLLO_CHECK(last_ckpt_step >= 0);
+    const std::string path =
+        CheckpointRotator::path_for(rc.ckpt_dir, last_ckpt_step);
+    CheckpointResult rolled = load_checkpoint(path, model_, &opt_);
+    if (!rolled.ok) {
+      res.diverged = true;
+      res.divergence_diagnostics =
+          "rollback target unloadable (" + path + "): " + rolled.error;
+      std::fprintf(stderr, "[watchdog] aborting: %s\n",
+                   res.divergence_diagnostics.c_str());
+      return WdAction::kAbort;
+    }
+    opt_.reseed_projection(static_cast<uint64_t>(res.rollbacks));
+    backoff.on_rollback();
+    watchdog.reset_history();
+    std::fprintf(stderr,
+                 "[watchdog] step %d: %s — rolled back to step %lld "
+                 "(retry %d/%d, lr scale %.6g)\n",
+                 step, why.c_str(), static_cast<long long>(last_ckpt_step),
+                 retries, rc.wd.max_retries,
+                 static_cast<double>(backoff.scale()));
+    // Replay the data stream from the rollback point.
+    loader.emplace(corpus_, cfg_.batch, model_.config().seq_len,
+                   cfg_.data_seed);
+    skip_batches(*loader, last_ckpt_step * accum);
+    if (qstore_ != nullptr) qstore_->requantize_from_params();
+    step = static_cast<int>(last_ckpt_step) - 1;  // ++ re-enters there
+    return WdAction::kRetry;
+  };
+
   using Clock = std::chrono::steady_clock;
   for (int step = start_step; step < cfg_.steps; ++step) {
     APOLLO_TRACE_SCOPE("train.step", "train");
@@ -135,105 +217,143 @@ TrainResult Trainer::run() {
     }
     const Clock::time_point step_t0 = Clock::now();
     if (qstore_ != nullptr) qstore_->dequantize_into_params();
-    model_.zero_grads();
     float step_loss = 0.f;
-    for (int micro = 0; micro < accum; ++micro) {
+    double grad_norm = 0.0;
+    float lr = 0.f;
+    if (fused) {
       APOLLO_TRACE_SCOPE("forward_backward", "train");
+      nn::ParamList params = model_.parameters();
+      // Free parameter gradients instead of zeroing them: backward lazily
+      // re-creates each one zero-filled on first touch, so a gradient only
+      // occupies memory between its first accumulation and its fused
+      // optimizer update.
+      for (nn::Parameter* p : params) p->grad = Matrix();
       loader->next(ids, targets);
       ag::Tape tape;
       ag::Var loss = model_.loss(tape, ids, targets);
-      // Mean over micro-batches: seed the backward pass with 1/accum.
-      tape.backward(loss, 1.f / static_cast<float>(accum));
-      step_loss += tape.value(loss)[0] / static_cast<float>(accum);
+      step_loss = tape.value(loss)[0];
+
+      // The loss is known before any update is applied, so the watchdog's
+      // loss-based checks run here exactly as in the unfused path. The
+      // gradient norm only exists after backward; a non-finite one is
+      // handled post-hoc below (the rollback discards the applied update).
+      if (rc.watchdog) {
+        const std::string why =
+            watchdog.check(static_cast<double>(step_loss), 0.0);
+        if (!why.empty()) {
+          if (handle_divergence(step, why) == WdAction::kAbort) break;
+          continue;
+        }
+        watchdog.observe(static_cast<double>(step_loss));
+        backoff.on_good_step();
+      }
+      if (cfg_.record_step_losses) res.step_losses.push_back(step_loss);
+
+      lr = sched.lr_at(step) * backoff.scale();
+      opt_.set_lr(lr);
+
+      const bool want_norm = telemetry || rc.watchdog;
+      std::unordered_map<const Matrix*, size_t> slot_of;
+      slot_of.reserve(params.size());
+      for (size_t i = 0; i < params.size(); ++i)
+        slot_of[&params[i]->grad] = i;
+      std::vector<double> norms(params.size(), 0.0);
+      std::vector<char> stepped(params.size(), 0);
+
+      opt_.begin_step(params);
+      tape.set_gradient_release(true);
+      tape.set_leaf_callback([&](const Matrix*, Matrix* g) {
+        const auto it = slot_of.find(g);
+        APOLLO_CHECK_MSG(it != slot_of.end(),
+                         "leaf gradient is not a model parameter");
+        const size_t slot = it->second;
+        if (want_norm) norms[slot] = frobenius_norm(*g);
+        opt_.step_param(*params[slot], static_cast<int>(slot));
+        tape.release_leaf_grad(g);
+        stepped[slot] = 1;
+      });
+      tape.backward(loss, 1.f);
+      // Dead leaves (parameters outside this step's graph) still get a
+      // zero-gradient update so weight decay and per-slot step counters
+      // match the unfused path bit for bit.
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (stepped[i]) continue;
+        nn::Parameter* p = params[i];
+        p->grad.reshape_discard(p->value.rows(), p->value.cols());
+        opt_.step_param(*p, static_cast<int>(i));
+        p->grad = Matrix();
+      }
+      opt_.end_step(params);
+
+      if (want_norm) {
+        // Reduced in slot order with the same single-rounding std::fma as
+        // global_grad_norm() — bit-identical to the unfused reduction.
+        double acc = 0;
+        for (const double n : norms) acc = std::fma(n, n, acc);
+        grad_norm = std::sqrt(acc);
+      }
       res.peak_activation_bytes =
-          std::max(res.peak_activation_bytes, tape.activation_bytes());
-    }
-    if (faults && fault::take_at(fault::Kind::kNanGrad, step)) {
-      nn::ParamList params = model_.parameters();
-      if (!params.empty() && params[0]->grad.size() > 0)
-        params[0]->grad[0] = std::nanf("");
-    }
+          std::max(res.peak_activation_bytes, tape.peak_activation_bytes());
+      res.peak_grad_bytes =
+          std::max(res.peak_grad_bytes, tape.peak_grad_bytes());
+      res.peak_total_bytes =
+          std::max(res.peak_total_bytes, tape.peak_total_bytes());
 
-    // Gradients are fully accumulated here; the optimizer consumes but does
-    // not clear them, so measuring before step() sees the applied update.
-    const double grad_norm = (telemetry || rc.watchdog)
-                                 ? global_grad_norm(model_.parameters())
-                                 : 0.0;
-
-    if (rc.watchdog) {
-      const std::string why =
-          watchdog.check(static_cast<double>(step_loss), grad_norm);
-      if (!why.empty()) {
-        ++res.rollbacks;
-        obs::Registry::instance().counter("watchdog.rollbacks").add(1);
-        if (retries >= rc.wd.max_retries) {
-          // Escalation ladder: tighten the norm-growth limiter once and
-          // grant a final retry budget, then abort with diagnostics.
-          if (!limiter_tightened &&
-              opt_.tighten_norm_limiter(rc.wd.limiter_tighten)) {
-            limiter_tightened = true;
-            retries = 0;
-            std::fprintf(stderr,
-                         "[watchdog] retry budget exhausted; tightened "
-                         "norm-growth limiter, granting a final budget\n");
-          } else {
-            res.diverged = true;
-            res.divergence_diagnostics =
-                "diverged at step " + std::to_string(step) + ": " + why +
-                "; " + std::to_string(res.rollbacks) + " rollback(s), lr " +
-                "scale " + std::to_string(backoff.scale()) +
-                ", last good checkpoint at step " +
-                std::to_string(last_ckpt_step);
-            std::fprintf(stderr, "[watchdog] aborting: %s\n",
-                         res.divergence_diagnostics.c_str());
-            if (last_ckpt_step >= 0)
-              load_checkpoint(
-                  CheckpointRotator::path_for(rc.ckpt_dir, last_ckpt_step),
-                  model_, &opt_);
-            break;
-          }
-        }
-        ++retries;
-        APOLLO_CHECK(last_ckpt_step >= 0);
-        const std::string path =
-            CheckpointRotator::path_for(rc.ckpt_dir, last_ckpt_step);
-        CheckpointResult rolled = load_checkpoint(path, model_, &opt_);
-        if (!rolled.ok) {
-          res.diverged = true;
-          res.divergence_diagnostics =
-              "rollback target unloadable (" + path + "): " + rolled.error;
-          std::fprintf(stderr, "[watchdog] aborting: %s\n",
-                       res.divergence_diagnostics.c_str());
+      if (rc.watchdog && !std::isfinite(grad_norm)) {
+        if (handle_divergence(step, "non-finite gradient norm") ==
+            WdAction::kAbort)
           break;
-        }
-        opt_.reseed_projection(static_cast<uint64_t>(res.rollbacks));
-        backoff.on_rollback();
-        watchdog.reset_history();
-        std::fprintf(stderr,
-                     "[watchdog] step %d: %s — rolled back to step %lld "
-                     "(retry %d/%d, lr scale %.6g)\n",
-                     step, why.c_str(),
-                     static_cast<long long>(last_ckpt_step), retries,
-                     rc.wd.max_retries,
-                     static_cast<double>(backoff.scale()));
-        // Replay the data stream from the rollback point.
-        loader.emplace(corpus_, cfg_.batch, model_.config().seq_len,
-                       cfg_.data_seed);
-        skip_batches(*loader, last_ckpt_step * accum);
-        if (qstore_ != nullptr) qstore_->requantize_from_params();
-        step = static_cast<int>(last_ckpt_step) - 1;  // ++ re-enters there
         continue;
       }
-      watchdog.observe(static_cast<double>(step_loss));
-      backoff.on_good_step();
+      if (qstore_ != nullptr) qstore_->requantize_from_params();
+    } else {
+      model_.zero_grads();
+      for (int micro = 0; micro < accum; ++micro) {
+        APOLLO_TRACE_SCOPE("forward_backward", "train");
+        loader->next(ids, targets);
+        ag::Tape tape;
+        ag::Var loss = model_.loss(tape, ids, targets);
+        // Mean over micro-batches: seed the backward pass with 1/accum.
+        tape.backward(loss, 1.f / static_cast<float>(accum));
+        step_loss += tape.value(loss)[0] / static_cast<float>(accum);
+        res.peak_activation_bytes =
+            std::max(res.peak_activation_bytes, tape.activation_bytes());
+        res.peak_grad_bytes =
+            std::max(res.peak_grad_bytes, tape.peak_grad_bytes());
+        res.peak_total_bytes =
+            std::max(res.peak_total_bytes, tape.peak_total_bytes());
+      }
+      if (faults && fault::take_at(fault::Kind::kNanGrad, step)) {
+        nn::ParamList params = model_.parameters();
+        if (!params.empty() && params[0]->grad.size() > 0)
+          params[0]->grad[0] = std::nanf("");
+      }
+
+      // Gradients are fully accumulated here; the optimizer consumes but
+      // does not clear them, so measuring before step() sees the applied
+      // update.
+      grad_norm = (telemetry || rc.watchdog)
+                      ? global_grad_norm(model_.parameters())
+                      : 0.0;
+
+      if (rc.watchdog) {
+        const std::string why =
+            watchdog.check(static_cast<double>(step_loss), grad_norm);
+        if (!why.empty()) {
+          if (handle_divergence(step, why) == WdAction::kAbort) break;
+          continue;
+        }
+        watchdog.observe(static_cast<double>(step_loss));
+        backoff.on_good_step();
+      }
+
+      if (cfg_.record_step_losses) res.step_losses.push_back(step_loss);
+
+      lr = sched.lr_at(step) * backoff.scale();
+      opt_.set_lr(lr);
+      opt_.step(model_.parameters());
+      if (qstore_ != nullptr) qstore_->requantize_from_params();
     }
-
-    if (cfg_.record_step_losses) res.step_losses.push_back(step_loss);
-
-    const float lr = sched.lr_at(step) * backoff.scale();
-    opt_.set_lr(lr);
-    opt_.step(model_.parameters());
-    if (qstore_ != nullptr) qstore_->requantize_from_params();
 
     if (cfg_.eval_every > 0 && (step + 1) % cfg_.eval_every == 0 &&
         step + 1 < cfg_.steps) {
@@ -260,6 +380,8 @@ TrainResult Trainer::run() {
       tel.set("lr", lr);
       tel.set_int("state_bytes", opt_.state_bytes());
       tel.set_int("activation_bytes", res.peak_activation_bytes);
+      tel.set_int("mem.peak_grad_bytes", res.peak_grad_bytes);
+      tel.set_int("mem.peak_total_bytes", res.peak_total_bytes);
       if (res.rollbacks > 0) tel.set_int("rollbacks", res.rollbacks);
       tel.set("step_ms",
               std::chrono::duration<double, std::milli>(Clock::now() -

@@ -39,6 +39,14 @@ struct TrainConfig {
   uint64_t data_seed = 7;
   uint64_t val_seed = 7777;
   bool record_step_losses = false;  // per-step training loss (Fig. 3)
+  // Fused backward+optimizer path: apply step_param() to each parameter the
+  // moment backward() finalizes its gradient, then free that gradient — so
+  // at most one parameter gradient is live at a time instead of all of
+  // them. Bit-identical to the unfused step. Also enabled by
+  // APOLLO_FUSED_UPDATE=1; silently falls back to the unfused step when
+  // grad_accum > 1 (gradients must persist across micro-batches) or fault
+  // injection is active (injectors poke at persisted gradients).
+  bool fused_update = false;
   // Fault tolerance: rotating checkpoints, auto-resume, divergence
   // watchdog. Default-disabled (empty ckpt_dir, watchdog off).
   ResilienceConfig resilience;
@@ -56,6 +64,12 @@ struct TrainResult {
   std::vector<float> step_losses;
   int64_t optimizer_state_bytes = 0;
   int64_t peak_activation_bytes = 0;
+  // High-water marks from the autograd tape (bytes): parameter gradients
+  // alone, and activations + parameter gradients + interior gradients.
+  // Under the fused path peak_grad_bytes collapses to roughly the largest
+  // single parameter instead of the full parameter count.
+  int64_t peak_grad_bytes = 0;
+  int64_t peak_total_bytes = 0;
   // Recovery bookkeeping (all zero on a fault-free non-resilient run).
   int64_t resumed_from_step = 0;   // > 0 when auto-resume kicked in
   int rollbacks = 0;               // watchdog-triggered rollbacks

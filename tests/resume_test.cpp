@@ -17,6 +17,7 @@
 #include "optim/sgd.h"
 #include "train/checkpoint.h"
 #include "train/resilience.h"
+#include "train/trainer.h"
 
 namespace apollo {
 namespace {
@@ -124,6 +125,68 @@ TEST(Resume, ApolloMiniExact) {
 TEST(Resume, UnsupportedOptimizerFallsBackToWeightsOnly) {
   check_exact_resume([] { return std::make_unique<optim::Sgd>(0.9f); },
                      false);
+}
+
+TEST(Resume, FusedSaveUnfusedLoadRoundTrip) {
+  // A checkpoint written while training with the fused backward+optimizer
+  // path must resume bit-exactly under the classic unfused step (and match
+  // an uninterrupted unfused run): the streaming refactor may not leak into
+  // the checkpoint byte format or the optimizer-state semantics.
+  namespace fs = std::filesystem;
+  const std::string dir =
+      std::string(::testing::TempDir()) + "resume_fused_roundtrip";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  auto make_opt = [] {
+    core::ApolloConfig cfg;
+    cfg.rank = 4;
+    cfg.update_freq = 12;  // projector re-seed boundary crossed after resume
+    cfg.seed = 9;
+    return core::Apollo::standard(cfg);
+  };
+  data::CorpusConfig ccfg;
+  ccfg.vocab = 48;
+  data::SyntheticCorpus corpus(ccfg);
+  train::TrainConfig base;
+  base.steps = 24;
+  base.batch = 2;
+  base.lr = 1e-3f;
+  base.eval_every = 0;
+
+  // Uninterrupted unfused reference.
+  nn::LlamaModel ref(tiny(), 1);
+  auto ref_opt = make_opt();
+  train::Trainer(ref, *ref_opt, corpus, base).run();
+
+  // Phase 1: the same 24-step run under the fused path (identical cosine
+  // schedule), committing rotating checkpoints at steps 10 and 20.
+  nn::LlamaModel first(tiny(), 1);
+  auto first_opt = make_opt();
+  train::TrainConfig fused = base;
+  fused.fused_update = true;
+  fused.resilience.ckpt_dir = dir;
+  fused.resilience.ckpt_every = 10;
+  train::Trainer(first, *first_opt, corpus, fused).run();
+  // Drop the step-20 commit so auto-resume picks the step-10 one and the
+  // resumed run crosses the update_freq=12 re-seed boundary.
+  fs::remove(train::CheckpointRotator::path_for(dir, 20));
+
+  // Phase 2: fresh objects auto-resume from the fused step-10 checkpoint
+  // and finish the remaining 14 steps with the classic unfused step.
+  nn::LlamaModel resumed(tiny(), 2);  // different init — must be overwritten
+  auto resumed_opt = make_opt();
+  train::TrainConfig rest = base;
+  rest.resilience.ckpt_dir = dir;
+  auto result = train::Trainer(resumed, *resumed_opt, corpus, rest).run();
+  EXPECT_EQ(result.resumed_from_step, 10);
+
+  auto pr = ref.parameters();
+  auto ps = resumed.parameters();
+  for (size_t i = 0; i < pr.size(); ++i)
+    EXPECT_TRUE(pr[i]->value == ps[i]->value)
+        << "fused-save/unfused-load mismatch at " << pr[i]->name;
+  fs::remove_all(dir);
 }
 
 #ifdef APOLLO_TRAIN_BIN

@@ -31,11 +31,12 @@
 //                             pin an explicit precision (e.g. %.6g) so logs
 //                             and CSV output are stable across libcs.
 //   check-shape-preconditions function definitions in src/optim/ and
-//                             src/core/ taking Matrix/ParamList arguments
-//                             must APOLLO_CHECK their preconditions (a
-//                             per-function heuristic; constructors with
-//                             init-lists, static helpers and anonymous
-//                             namespaces are exempt).
+//                             src/core/ taking Matrix/ParamList/Parameter
+//                             arguments must APOLLO_CHECK their
+//                             preconditions (a per-function heuristic;
+//                             constructors with init-lists, static helpers,
+//                             anonymous namespaces, and bodies delegating to
+//                             Optimizer::begin_step/end_step are exempt).
 //
 // Exit status: 0 when clean, 1 with `file:line: rule-id: message`
 // diagnostics otherwise, 2 on usage/IO errors.
@@ -680,7 +681,8 @@ class Linter {
       if (q >= s.size() || s[q] != '{') continue;
       const std::string params = s.substr(open + 1, close - open - 1);
       if (find_token(params, "Matrix") == std::string::npos &&
-          find_token(params, "ParamList") == std::string::npos)
+          find_token(params, "ParamList") == std::string::npos &&
+          find_token(params, "Parameter") == std::string::npos)
         continue;
       if (in_anon(open)) continue;
       // `static` helpers are internal; skip (statement start = after the
@@ -695,7 +697,11 @@ class Linter {
       const size_t body_end = match_forward(s, q);
       if (body_end == std::string::npos) continue;
       const std::string body = s.substr(q, body_end - q);
-      if (body.find("APOLLO_CHECK") != std::string::npos) {
+      // Delegating to the base begin_step/end_step counts: those perform
+      // the APOLLO_CHECKs shared by every optimizer.
+      if (body.find("APOLLO_CHECK") != std::string::npos ||
+          body.find("Optimizer::begin_step(") != std::string::npos ||
+          body.find("Optimizer::end_step(") != std::string::npos) {
         pos = q;
         continue;
       }
@@ -729,7 +735,7 @@ void print_rules() {
       "printf-float-precision    hygiene: float printf in src/ pins "
       "precision\n"
       "check-shape-preconditions contract: optim/core entry points "
-      "APOLLO_CHECK their Matrix/ParamList inputs\n"
+      "APOLLO_CHECK their Matrix/ParamList/Parameter inputs\n"
       "Suppress with // lint:allow(rule-id) on or above the line, or "
       "// lint:allow-file(rule-id).\n";
 }

@@ -41,6 +41,9 @@ void usage() {
       "  --weight-decay F    decoupled weight decay (default 0)\n"
       "  --data PATH         byte-level text file (default: synthetic C4)\n"
       "  --quantize-weights  INT8 weight store (Q- variants)\n"
+      "  --fused-update      apply optimizer updates inside backward and\n"
+      "                      free each gradient immediately (bit-identical\n"
+      "                      trajectory; also via APOLLO_FUSED_UPDATE=1)\n"
       "  --eval-every N      validation cadence (default steps/10)\n"
       "  --csv PATH          write the eval curve as CSV\n"
       "  --save PATH         write a checkpoint after training\n"
@@ -135,6 +138,7 @@ int main(int argc, char** argv) {
   tc.steps = static_cast<int>(args.get_int("steps", 400));
   tc.batch = static_cast<int>(args.get_int("batch", 4));
   tc.grad_accum = static_cast<int>(args.get_int("grad-accum", 1));
+  tc.fused_update = args.has("fused-update");
   tc.lr = static_cast<float>(
       args.get_double("lr", core::default_lr(opt_name)));
   tc.eval_every =
