@@ -7,6 +7,7 @@
 // (which additionally pays the periodic SVD).
 #include "exp_common.h"
 #include "sysmodel/throughput_model.h"
+#include "tensor/simd/simd.h"
 
 using namespace apollo;
 using namespace apollo::bench;
@@ -15,6 +16,9 @@ int main() {
   obs::BenchReport& report =
       obs::BenchReport::open("fig1_throughput", quick_mode());
   report.note("figure", "Fig. 1 (right)");
+  // Stamp the dispatch level so throughput artifacts from different
+  // machines / APOLLO_SIMD settings are never compared blind.
+  report.note("simd_level", simd::level_name(simd::active_level()));
   std::printf("Fig. 1 (right) — modeled end-to-end throughput, LLaMA-7B on "
               "8xA100-80GB, total batch 512 seq\n");
   print_rule(96);

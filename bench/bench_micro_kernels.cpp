@@ -4,6 +4,8 @@
 // and the training-stack primitives.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 
 #include "core/apollo.h"
@@ -16,6 +18,7 @@
 #include "optim/galore.h"
 #include "quant/quant.h"
 #include "tensor/ops.h"
+#include "tensor/simd/simd.h"
 
 namespace apollo {
 namespace {
@@ -134,7 +137,112 @@ void BM_TrainStep350MProxy(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStep350MProxy);
 
+// Seconds per call, doubling the batch until the sample is long enough to
+// trust (single-threaded direct kernel calls; no pool involvement).
+template <typename F>
+double secs_per_call(F&& body) {
+  using clock = std::chrono::steady_clock;
+  body();  // warm up caches and the dispatch table
+  for (int64_t iters = 1;; iters *= 2) {
+    const auto t0 = clock::now();
+    for (int64_t i = 0; i < iters; ++i) body();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s > 0.1 || iters > (int64_t{1} << 24)) return s / iters;
+  }
+}
+
 }  // namespace
+
+// Direct sweep of the dispatched SIMD kernels (tensor/simd/simd.h) at every
+// level this CPU supports: one row per (kernel, level) with GFLOP/s and
+// nominal GB/s, plus the headline `speedup_vs_scalar` scalar (vector GEMM
+// over scalar GEMM at the large shape). Returns false — nonzero bench exit —
+// when a vector level exists but fails to beat scalar GEMM.
+bool run_simd_kernel_sweep(bool quick) {
+  obs::BenchReport* rep = obs::BenchReport::current();
+  const int64_t N = quick ? 192 : 512;        // GEMM m = n = k
+  const int64_t kVec = quick ? (int64_t{1} << 20) : (int64_t{1} << 22);
+  const int64_t kRow = 4096;                  // softmax / rmsnorm row width
+
+  Matrix a = random_matrix(N, N, 11), b = random_matrix(N, N, 12), c(N, N);
+  Matrix y = random_matrix(1, kVec, 13), x = random_matrix(1, kVec, 14);
+  Matrix src = random_matrix(1, kRow, 15), w = random_matrix(1, kRow, 16);
+  Matrix dst(1, kRow), sig(1, kRow);
+
+  std::printf("\n%-10s %-8s %12s %10s\n", "kernel", "level", "GFLOP/s",
+              "GB/s");
+  double scalar_gemm = 0., best_vector_gemm = 0.;
+  for (simd::Level lv : simd::available_levels()) {
+    const simd::KernelTable& kt = simd::table(lv);
+    struct Sample {
+      const char* kernel;
+      double secs, flops, bytes;
+    };
+    const Sample samples[] = {
+        {"gemm", secs_per_call([&] {
+           kt.gemm(c.data(), N, a.data(), N, false, b.data(), N, 0, N, N, N);
+         }),
+         2. * N * N * N, 16. * N * N},
+        {"axpy",
+         secs_per_call([&] { kt.axpy(y.data(), x.data(), 1e-4f, kVec); }),
+         2. * kVec, 12. * kVec},
+        {"sum", secs_per_call([&] {
+           benchmark::DoNotOptimize(kt.sum(x.data(), kVec));
+         }),
+         1. * kVec, 4. * kVec},
+        {"softmax",
+         secs_per_call([&] { kt.softmax(dst.data(), src.data(), kRow); }),
+         4. * kRow, 8. * kRow},
+        {"rmsnorm", secs_per_call([&] {
+           benchmark::DoNotOptimize(
+               kt.rmsnorm_row(dst.data(), src.data(), w.data(), kRow, 1e-6f));
+         }),
+         4. * kRow, 12. * kRow},
+        {"silu", secs_per_call([&] {
+           kt.silu(dst.data(), sig.data(), src.data(), kRow);
+         }),
+         5. * kRow, 12. * kRow},
+    };
+    for (const Sample& s : samples) {
+      const double gflops = s.flops / s.secs * 1e-9;
+      const double gbps = s.bytes / s.secs * 1e-9;
+      std::printf("%-10s %-8s %12.2f %10.2f\n", s.kernel,
+                  simd::level_name(lv), gflops, gbps);
+      if (rep != nullptr) {
+        rep->add_row()
+            .col_str("name", std::string("simd_") + s.kernel)
+            .col_str("level", simd::level_name(lv))
+            .col("gflops", gflops)
+            .col("gbps", gbps);
+      }
+      if (std::string(s.kernel) == "gemm") {
+        if (lv == simd::Level::kScalar)
+          scalar_gemm = gflops;
+        else if (gflops > best_vector_gemm)
+          best_vector_gemm = gflops;
+      }
+    }
+  }
+
+  const bool has_vector = simd::available_levels().size() > 1;
+  const double speedup =
+      has_vector && scalar_gemm > 0. ? best_vector_gemm / scalar_gemm : 1.;
+  std::printf("simd gemm speedup_vs_scalar: %.2fx (N=%lld)\n\n", speedup,
+              static_cast<long long>(N));
+  if (rep != nullptr) {
+    rep->scalar("speedup_vs_scalar", speedup);
+    rep->note("simd_max_level", simd::level_name(simd::max_supported_level()));
+  }
+  if (has_vector && speedup <= 1.) {
+    std::fprintf(stderr,
+                 "FAIL: vectorized GEMM (%.2f GFLOP/s) does not beat scalar "
+                 "(%.2f GFLOP/s) at N=%lld\n",
+                 best_vector_gemm, scalar_gemm, static_cast<long long>(N));
+    return false;
+  }
+  return true;
+}
+
 }  // namespace apollo
 
 namespace {
@@ -161,12 +269,14 @@ class ReportAdapter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  apollo::obs::BenchReport::open(
-      "micro_kernels", std::getenv("APOLLO_BENCH_QUICK") != nullptr);
+  const bool quick = std::getenv("APOLLO_BENCH_QUICK") != nullptr;
+  apollo::obs::BenchReport::open("micro_kernels", quick);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ReportAdapter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  return 0;
+  // Nonzero exit when a vector level fails to beat the scalar GEMM — keeps
+  // the dispatch win an enforced property, not just a reported number.
+  return apollo::run_simd_kernel_sweep(quick) ? 0 : 1;
 }

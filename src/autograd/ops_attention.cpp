@@ -8,6 +8,7 @@
 
 #include "autograd/tape.h"
 #include "tensor/ops.h"
+#include "tensor/simd/simd.h"
 
 namespace apollo::ag {
 
@@ -109,6 +110,10 @@ Var Tape::causal_attention(Var qv, Var kv, Var vv, int n_heads, int seq_len) {
   auto probs = std::make_shared<std::vector<Matrix>>();
   probs->reserve(static_cast<size_t>(batch * n_heads));
 
+  // Scores, causal-prefix softmax, and the Σ_j p_ij·V_j accumulation all go
+  // through the dispatched kernels; the (b, h, i, j) loop structure — and
+  // therefore every accumulation order — is unchanged.
+  const simd::KernelTable& kt = simd::table();
   for (int64_t b = 0; b < batch; ++b) {
     const int64_t row0 = b * seq_len;
     for (int h = 0; h < n_heads; ++h) {
@@ -117,29 +122,13 @@ Var Tape::causal_attention(Var qv, Var kv, Var vv, int n_heads, int seq_len) {
       for (int64_t i = 0; i < seq_len; ++i) {
         const float* qi = q.row(row0 + i) + c0;
         float* pi = p.row(i);
-        float mx = -1e30f;
-        for (int64_t j = 0; j <= i; ++j) {
-          const float* kj = k.row(row0 + j) + c0;
-          float acc = 0.f;
-          for (int64_t c = 0; c < head_dim; ++c) acc += qi[c] * kj[c];
-          acc *= scale;
-          pi[j] = acc;
-          mx = std::max(mx, acc);
-        }
-        double denom = 0;
-        for (int64_t j = 0; j <= i; ++j) {
-          pi[j] = std::exp(pi[j] - mx);
-          denom += pi[j];
-        }
-        const float inv = static_cast<float>(1.0 / denom);
-        for (int64_t j = 0; j <= i; ++j) pi[j] *= inv;
+        for (int64_t j = 0; j <= i; ++j)
+          pi[j] = kt.dot(qi, k.row(row0 + j) + c0, head_dim) * scale;
+        kt.softmax(pi, pi, i + 1);
         // Output row = Σ_j p_ij · V_j
         float* oi = n.value.row(row0 + i) + c0;
-        for (int64_t j = 0; j <= i; ++j) {
-          const float* vj = v.row(row0 + j) + c0;
-          const float pij = pi[j];
-          for (int64_t c = 0; c < head_dim; ++c) oi[c] += pij * vj[c];
-        }
+        for (int64_t j = 0; j <= i; ++j)
+          kt.axpy(oi, v.row(row0 + j) + c0, pi[j], head_dim);
       }
       n.extra_bytes += p.size() * static_cast<int64_t>(sizeof(float));
       probs->push_back(std::move(p));

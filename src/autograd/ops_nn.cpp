@@ -1,8 +1,16 @@
 // Neural-network ops: SiLU, RMSNorm, embedding gather, cross-entropy.
+//
+// Forward passes route their dense row loops through the dispatched SIMD
+// kernels (tensor/simd/simd.h) under the deterministic pool: rows are
+// independent, so the partition never changes the bits. Backward loops stay
+// scalar — they are gather/accumulate-bound, not vector-bound.
+#include <algorithm>
 #include <cmath>
 
 #include "autograd/tape.h"
+#include "core/threadpool.h"
 #include "tensor/ops.h"
+#include "tensor/simd/simd.h"
 
 namespace apollo::ag {
 
@@ -13,10 +21,17 @@ Var Tape::silu(Var a) {
   n.value = Matrix(x.rows(), x.cols());
   // Save σ(x) for backward: d/dx [x·σ(x)] = σ(x)·(1 + x·(1 − σ(x))).
   auto sig = std::make_shared<Matrix>(x.rows(), x.cols());
-  for (int64_t i = 0; i < x.size(); ++i) {
-    const float s = 1.f / (1.f + std::exp(-x[i]));
-    (*sig)[i] = s;
-    n.value[i] = x[i] * s;
+  {
+    const simd::KernelTable& kt = simd::table();
+    float* yd = n.value.data();
+    float* sd = sig->data();
+    const float* xd = x.data();
+    core::parallel_for(
+        x.size(),
+        [&](int64_t i0, int64_t i1) {
+          kt.silu(yd + i0, sd + i0, xd + i0, i1 - i0);
+        },
+        /*grain=*/1 << 12);
   }
   n.extra_bytes = sig->size() * static_cast<int64_t>(sizeof(float));
   n.requires_grad = requires_grad(a);
@@ -46,14 +61,16 @@ Var Tape::rmsnorm(Var xv, Var wv, float eps) {
   nd.value = Matrix(rows, n);
   auto inv_rms = std::make_shared<std::vector<float>>(
       static_cast<size_t>(rows));
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x.row(r);
-    double ss = 0;
-    for (int64_t c = 0; c < n; ++c) ss += static_cast<double>(xr[c]) * xr[c];
-    const float ir = 1.f / std::sqrt(static_cast<float>(ss / n) + eps);
-    (*inv_rms)[static_cast<size_t>(r)] = ir;
-    float* yr = nd.value.row(r);
-    for (int64_t c = 0; c < n; ++c) yr[c] = xr[c] * ir * w[c];
+  {
+    const simd::KernelTable& kt = simd::table();
+    core::parallel_for(
+        rows,
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r)
+            (*inv_rms)[static_cast<size_t>(r)] =
+                kt.rmsnorm_row(nd.value.row(r), x.row(r), w.row(0), n, eps);
+        },
+        /*grain=*/std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, n)));
   }
   nd.extra_bytes = rows * static_cast<int64_t>(sizeof(float));
   nd.requires_grad = requires_grad(xv) || requires_grad(wv);
@@ -136,21 +153,22 @@ Var Tape::cross_entropy(Var logits, std::vector<int32_t> targets) {
   n.value = Matrix(1, 1);
   // Save softmax probabilities for backward.
   auto probs = std::make_shared<Matrix>(T, V);
+  {
+    // Softmax rows are independent → parallel; the loss accumulation below
+    // stays sequential so its order never depends on the partition.
+    const simd::KernelTable& kt = simd::table();
+    core::parallel_for(
+        T,
+        [&](int64_t t0, int64_t t1) {
+          for (int64_t t = t0; t < t1; ++t)
+            kt.softmax(probs->row(t), z.row(t), V);
+        },
+        /*grain=*/std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, V)));
+  }
   double loss = 0;
   int64_t count = 0;
   for (int64_t t = 0; t < T; ++t) {
-    const float* zr = z.row(t);
-    float mx = zr[0];
-    for (int64_t v = 1; v < V; ++v) mx = std::max(mx, zr[v]);
-    double denom = 0;
-    float* pr = probs->row(t);
-    for (int64_t v = 0; v < V; ++v) {
-      const float e = std::exp(zr[v] - mx);
-      pr[v] = e;
-      denom += e;
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t v = 0; v < V; ++v) pr[v] *= inv;
+    const float* pr = probs->row(t);
     const int32_t tgt = targets[static_cast<size_t>(t)];
     if (tgt < 0) continue;
     APOLLO_CHECK(tgt < V);

@@ -29,11 +29,19 @@ int env_thread_count() {
 
 std::atomic<int> g_thread_override{0};
 
-// Chunk `lane` of [0, n) split into `lanes` contiguous pieces. Pure in
-// (n, lanes, lane): the partition — and therefore which indices land
-// together — never depends on runtime timing.
-std::pair<int64_t, int64_t> lane_range(int64_t n, int lanes, int lane) {
-  return {n * lane / lanes, n * (lane + 1) / lanes};
+// Chunk `lane` of [0, n) split into `lanes` contiguous pieces whose
+// boundaries (except the final n) land on multiples of `align`. Pure in
+// (n, lanes, lane, align): the partition — and therefore which indices land
+// together — never depends on runtime timing. The align > 1 case partitions
+// the ceil(n/align) blocks with the same formula, so align == 1 reproduces
+// the historical split exactly.
+std::pair<int64_t, int64_t> lane_range(int64_t n, int lanes, int lane,
+                                       int64_t align) {
+  if (align <= 1) return {n * lane / lanes, n * (lane + 1) / lanes};
+  const int64_t blocks = (n + align - 1) / align;
+  const int64_t b0 = blocks * lane / lanes;
+  const int64_t b1 = blocks * (lane + 1) / lanes;
+  return {b0 * align, std::min(b1 * align, n)};
 }
 
 // Lazily-started persistent worker pool. One generation counter per job;
@@ -46,7 +54,7 @@ class Pool {
     return pool;
   }
 
-  void run(int lanes, int64_t n,
+  void run(int lanes, int64_t n, int64_t align,
            const std::function<void(int64_t, int64_t)>& fn) {
     std::lock_guard<std::mutex> run_lock(run_mu_);
     {
@@ -55,13 +63,14 @@ class Pool {
       task_ = &fn;
       job_n_ = n;
       job_lanes_ = lanes;
+      job_align_ = align;
       pending_ = lanes - 1;
       ++job_id_;
     }
     cv_job_.notify_all();
 
     // The caller is lane 0.
-    const auto [begin, end] = lane_range(n, lanes, 0);
+    const auto [begin, end] = lane_range(n, lanes, 0, align);
     tl_inside_parallel_region = true;
     fn(begin, end);
     tl_inside_parallel_region = false;
@@ -103,9 +112,10 @@ class Pool {
         const std::function<void(int64_t, int64_t)>* fn = task_;
         const int64_t n = job_n_;
         const int lanes = job_lanes_;
+        const int64_t align = job_align_;
         lock.unlock();
-        const auto [begin, end] = lane_range(n, lanes, lane);
-        (*fn)(begin, end);
+        const auto [begin, end] = lane_range(n, lanes, lane, align);
+        if (begin < end) (*fn)(begin, end);
         lock.lock();
         if (--pending_ == 0) cv_done_.notify_all();
       }
@@ -118,6 +128,7 @@ class Pool {
   std::vector<std::thread> workers_;
   const std::function<void(int64_t, int64_t)>* task_ = nullptr;
   int64_t job_n_ = 0;
+  int64_t job_align_ = 1;
   int job_lanes_ = 0;
   int pending_ = 0;
   uint64_t job_id_ = 0;
@@ -139,17 +150,23 @@ void set_thread_count(int n) {
 }
 
 void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
-                  int64_t grain) {
+                  int64_t grain, int64_t align) {
   if (n <= 0) return;
   if (grain < 1) grain = 1;
+  if (align < 1) align = 1;
   int lanes = thread_count();
-  const int64_t max_lanes = n / grain;  // every lane gets ≥ grain indices
+  int64_t max_lanes = n / grain;  // every lane gets ≥ grain indices
+  if (align > 1) {
+    // No more lanes than aligned blocks, so no lane gets an empty chunk.
+    const int64_t blocks = (n + align - 1) / align;
+    if (blocks < max_lanes) max_lanes = blocks;
+  }
   if (max_lanes < lanes) lanes = static_cast<int>(max_lanes);
   if (lanes <= 1 || tl_inside_parallel_region) {
     fn(0, n);
     return;
   }
-  Pool::instance().run(lanes, n, fn);
+  Pool::instance().run(lanes, n, align, fn);
 }
 
 }  // namespace apollo::core

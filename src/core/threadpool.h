@@ -43,7 +43,12 @@ inline constexpr int kMaxThreads = 64;
 // 2·grain run inline on the calling thread, so tiny tensors never pay
 // dispatch overhead. Nested calls from inside a parallel region degrade to
 // sequential execution (no deadlock, same results).
+//
+// `align` rounds every chunk boundary (except the final end at n) down to a
+// multiple of `align`: the SIMD GEMM passes its micro-kernel row-tile height
+// so every lane starts on a fresh register tile. The partition stays a pure
+// function of (n, lanes, align).
 void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
-                  int64_t grain = 1);
+                  int64_t grain = 1, int64_t align = 1);
 
 }  // namespace apollo::core

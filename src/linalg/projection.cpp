@@ -9,7 +9,8 @@ namespace apollo {
 
 // Projector generation is sequential by construction (the Rng stream must
 // replay bit-exactly from the stored 8-byte seed); project/project_back
-// below inherit multi-threading from the parallel matmul kernels.
+// below inherit multi-threading — and the runtime-dispatched SIMD GEMM
+// (tensor/simd/simd.h) — from the matmul kernels.
 Matrix gaussian_projection(int64_t r, int64_t m, uint64_t seed) {
   APOLLO_CHECK(r >= 1 && m >= 1);
   Matrix p(r, m);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/simd/simd.h"
+
 namespace apollo::nn {
 
 InferenceSession::InferenceSession(LlamaModel& model) : model_(model) {
@@ -31,27 +33,18 @@ void InferenceSession::reset() {
 
 void InferenceSession::rmsnorm_vec(const float* x, const Matrix& gain,
                                    std::vector<float>& out) const {
-  const int64_t n = gain.cols();
-  double ss = 0;
-  for (int64_t i = 0; i < n; ++i) ss += static_cast<double>(x[i]) * x[i];
-  const float inv =
-      1.f / std::sqrt(static_cast<float>(ss / static_cast<double>(n)) +
-                      1e-6f);
-  for (int64_t i = 0; i < n; ++i)
-    out[static_cast<size_t>(i)] = x[i] * inv * gain[i];
+  simd::table().rmsnorm_row(out.data(), x, gain.row(0), gain.cols(), 1e-6f);
 }
 
+// Decode is one token at a time, so the projections are matrix-vector: a
+// row-dot per output through the dispatched dot kernel.
 void InferenceSession::matvec(const Matrix& w, const std::vector<float>& x,
                               std::vector<float>& y) {
   const int64_t out = w.rows(), in = w.cols();
+  const simd::KernelTable& kt = simd::table();
   y.resize(static_cast<size_t>(out));
-  for (int64_t o = 0; o < out; ++o) {
-    const float* wr = w.row(o);
-    float acc = 0.f;
-    for (int64_t i = 0; i < in; ++i)
-      acc += wr[i] * x[static_cast<size_t>(i)];
-    y[static_cast<size_t>(o)] = acc;
-  }
+  for (int64_t o = 0; o < out; ++o)
+    y[static_cast<size_t>(o)] = kt.dot(w.row(o), x.data(), in);
 }
 
 void InferenceSession::rope_vec(std::vector<float>& x, int pos) const {
@@ -112,32 +105,19 @@ const std::vector<float>& InferenceSession::step(int32_t token) {
     const int ctx = static_cast<int>(cache.k.size());
     std::fill(att_out_.begin(), att_out_.end(), 0.f);
     std::vector<float> scores(static_cast<size_t>(ctx));
+    const simd::KernelTable& skt = simd::table();
     for (int hd = 0; hd < cfg.n_heads; ++hd) {
       const int64_t c0 = static_cast<int64_t>(hd) * head_dim;
-      float mx = -1e30f;
-      for (int t = 0; t < ctx; ++t) {
-        float acc = 0.f;
-        const auto& kt = cache.k[static_cast<size_t>(t)];
-        for (int64_t c = 0; c < head_dim; ++c)
-          acc += q_[static_cast<size_t>(c0 + c)] *
-                 kt[static_cast<size_t>(c0 + c)];
-        scores[static_cast<size_t>(t)] = acc * scale;
-        mx = std::max(mx, scores[static_cast<size_t>(t)]);
-      }
-      double denom = 0;
-      for (int t = 0; t < ctx; ++t) {
+      for (int t = 0; t < ctx; ++t)
         scores[static_cast<size_t>(t)] =
-            std::exp(scores[static_cast<size_t>(t)] - mx);
-        denom += scores[static_cast<size_t>(t)];
-      }
-      const float inv = static_cast<float>(1.0 / denom);
-      for (int t = 0; t < ctx; ++t) {
-        const float p = scores[static_cast<size_t>(t)] * inv;
-        const auto& vt = cache.v[static_cast<size_t>(t)];
-        for (int64_t c = 0; c < head_dim; ++c)
-          att_out_[static_cast<size_t>(c0 + c)] +=
-              p * vt[static_cast<size_t>(c0 + c)];
-      }
+            skt.dot(q_.data() + c0,
+                    cache.k[static_cast<size_t>(t)].data() + c0, head_dim) *
+            scale;
+      skt.softmax(scores.data(), scores.data(), ctx);
+      for (int t = 0; t < ctx; ++t)
+        skt.axpy(att_out_.data() + c0,
+                 cache.v[static_cast<size_t>(t)].data() + c0,
+                 scores[static_cast<size_t>(t)], head_dim);
     }
     matvec(lay.wo->value, att_out_, mlp_);  // reuse mlp_ as scratch
     for (int64_t i = 0; i < hidden; ++i)
@@ -147,9 +127,15 @@ const std::vector<float>& InferenceSession::step(int32_t token) {
     rmsnorm_vec(h_.data(), lay.mlp_norm->value, norm_);
     matvec(lay.w_gate->value, norm_, gate_);
     matvec(lay.w_up->value, norm_, up_);
-    for (size_t i = 0; i < gate_.size(); ++i) {
-      const float sig = 1.f / (1.f + std::exp(-gate_[i]));
-      gate_[i] = gate_[i] * sig * up_[i];
+    {
+      // SiLU via the dispatched kernel, then the SwiGLU gate product.
+      // norm_ is dead until the next rmsnorm_vec, so it holds σ.
+      std::vector<float>& sig = norm_;
+      sig.resize(gate_.size());
+      simd::table().silu(gate_.data(), sig.data(), gate_.data(),
+                         static_cast<int64_t>(gate_.size()));
+      simd::table().hadamard(gate_.data(), up_.data(),
+                             static_cast<int64_t>(gate_.size()));
     }
     matvec(lay.w_down->value, gate_, mlp_);
     for (int64_t i = 0; i < hidden; ++i)

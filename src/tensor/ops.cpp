@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "tensor/simd/simd.h"
 
 namespace apollo {
 
@@ -52,25 +53,18 @@ void matmul(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
   } else {
     APOLLO_CHECK(c.rows() == m && c.cols() == n);
   }
-  // i-k-j ordering: the inner loop streams rows of B and C and vectorizes.
-  // Rows of C are independent, so the pool partitions over i; each c[i][j]
-  // still accumulates over p in ascending order — bit-identical to the
-  // sequential kernel for any thread count.
+  // Rows of C are independent, so the pool partitions over i (band
+  // boundaries aligned to the level's register-tile height); inside a band
+  // the dispatched kernel accumulates each c[i][j] in an order that is a
+  // pure function of the shape — bit-identical for any thread count.
+  const simd::KernelTable& kt = simd::table();
   core::parallel_for(
       m,
       [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-          float* __restrict crow = c.row(i);
-          const float* __restrict arow = a.row(i);
-          for (int64_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.f) continue;
-            const float* __restrict brow = b.row(p);
-            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
+        kt.gemm(c.data(), c.cols(), a.data(), a.cols(), /*a_trans=*/false,
+                b.data(), b.cols(), i0, i1, n, k);
       },
-      row_grain(2 * k * n));
+      row_grain(2 * k * n), kt.gemm_row_align);
 }
 
 void matmul_at(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
@@ -84,25 +78,18 @@ void matmul_at(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
   } else {
     APOLLO_CHECK(c.rows() == m && c.cols() == n);
   }
-  // C rows are indexed by A's columns. Each lane runs the same p-outer
-  // streaming loop restricted to its own band of C rows: writes stay
-  // disjoint and every c[i][j] accumulates over p ascending, so the result
-  // matches the sequential kernel exactly.
+  // C rows are indexed by A's columns. Each lane covers its own band of C
+  // rows (a_trans packing transposes A's band on the fly): writes stay
+  // disjoint and every c[i][j] accumulates in a shape-pure order, so the
+  // result matches the sequential call exactly.
+  const simd::KernelTable& kt = simd::table();
   core::parallel_for(
       m,
       [&](int64_t i0, int64_t i1) {
-        for (int64_t p = 0; p < k; ++p) {
-          const float* __restrict arow = a.row(p);
-          const float* __restrict brow = b.row(p);
-          for (int64_t i = i0; i < i1; ++i) {
-            const float av = arow[i];
-            if (av == 0.f) continue;
-            float* __restrict crow = c.row(i);
-            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
+        kt.gemm(c.data(), c.cols(), a.data(), a.cols(), /*a_trans=*/true,
+                b.data(), b.cols(), i0, i1, n, k);
       },
-      row_grain(2 * k * n));
+      row_grain(2 * k * n), kt.gemm_row_align);
 }
 
 void matmul_bt(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
@@ -124,18 +111,15 @@ void matmul_bt(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
   } else {
     APOLLO_CHECK(c.rows() == m && c.cols() == n);
   }
+  const simd::KernelTable& kt = simd::table();
   core::parallel_for(
       m,
       [&](int64_t i0, int64_t i1) {
         for (int64_t i = i0; i < i1; ++i) {
           const float* __restrict arow = a.row(i);
           float* __restrict crow = c.row(i);
-          for (int64_t j = 0; j < n; ++j) {
-            const float* __restrict brow = b.row(j);
-            float acc = 0.f;
-            for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-            crow[j] += acc;
-          }
+          for (int64_t j = 0; j < n; ++j)
+            crow[j] += kt.dot(arow, b.row(j), k);
         }
       },
       row_grain(2 * k * n));
@@ -157,25 +141,26 @@ Matrix matmul_bt(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+// Elementwise kernels are per-element pure (a single fma/mul per output),
+// so any partition of the range yields the same bits at every dispatch
+// level; each chunk hands its subrange straight to the level's kernel.
 void axpy(Matrix& y, float alpha, const Matrix& x) {
   APOLLO_CHECK(y.same_shape(x));
-  float* __restrict yd = y.data();
-  const float* __restrict xd = x.data();
+  const simd::KernelTable& kt = simd::table();
+  float* yd = y.data();
+  const float* xd = x.data();
   core::parallel_for(
       y.size(),
-      [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) yd[i] += alpha * xd[i];
-      },
+      [&](int64_t i0, int64_t i1) { kt.axpy(yd + i0, xd + i0, alpha, i1 - i0); },
       kElementGrain);
 }
 
 void scale_inplace(Matrix& y, float alpha) {
-  float* __restrict yd = y.data();
+  const simd::KernelTable& kt = simd::table();
+  float* yd = y.data();
   core::parallel_for(
       y.size(),
-      [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) yd[i] *= alpha;
-      },
+      [&](int64_t i0, int64_t i1) { kt.scale(yd + i0, alpha, i1 - i0); },
       kElementGrain);
 }
 
@@ -185,13 +170,12 @@ void sub_inplace(Matrix& y, const Matrix& x) { axpy(y, -1.f, x); }
 
 void hadamard_inplace(Matrix& y, const Matrix& x) {
   APOLLO_CHECK(y.same_shape(x));
-  float* __restrict yd = y.data();
-  const float* __restrict xd = x.data();
+  const simd::KernelTable& kt = simd::table();
+  float* yd = y.data();
+  const float* xd = x.data();
   core::parallel_for(
       y.size(),
-      [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) yd[i] *= xd[i];
-      },
+      [&](int64_t i0, int64_t i1) { kt.hadamard(yd + i0, xd + i0, i1 - i0); },
       kElementGrain);
 }
 
@@ -204,31 +188,21 @@ Matrix sub(const Matrix& a, const Matrix& b) {
 // Whole-tensor reductions stay single-threaded on purpose: splitting the
 // accumulation across lanes would change the summation order (and thus the
 // float result) with the thread count, breaking the pool's bit-identity
-// guarantee. They are O(n) against the O(mnk) kernels above.
+// guarantee. They are O(n) against the O(mnk) kernels above. The dispatched
+// kernels keep that guarantee per level: the vector backends use a fixed
+// lane tree reduced in ascending lane order plus a sequential tail.
 double frobenius_norm(const Matrix& m) {
-  double acc = 0;
-  const float* d = m.data();
-  for (int64_t i = 0; i < m.size(); ++i)
-    acc += static_cast<double>(d[i]) * d[i];
-  return std::sqrt(acc);
+  return std::sqrt(simd::table().sumsq(m.data(), m.size()));
 }
 
-double sum(const Matrix& m) {
-  double acc = 0;
-  const float* d = m.data();
-  for (int64_t i = 0; i < m.size(); ++i) acc += d[i];
-  return acc;
-}
+double sum(const Matrix& m) { return simd::table().sum(m.data(), m.size()); }
 
 double mean(const Matrix& m) {
   return m.size() == 0 ? 0.0 : sum(m) / static_cast<double>(m.size());
 }
 
 float abs_max(const Matrix& m) {
-  float mx = 0.f;
-  const float* d = m.data();
-  for (int64_t i = 0; i < m.size(); ++i) mx = std::max(mx, std::fabs(d[i]));
-  return mx;
+  return simd::table().abs_max(m.data(), m.size());
 }
 
 std::vector<float> col_norms(const Matrix& m) {
@@ -255,17 +229,14 @@ std::vector<float> col_norms(const Matrix& m) {
 
 std::vector<float> row_norms(const Matrix& m) {
   const int64_t rows = m.rows(), cols = m.cols();
+  const simd::KernelTable& kt = simd::table();
   std::vector<float> out(static_cast<size_t>(rows));
   core::parallel_for(
       rows,
       [&](int64_t r0, int64_t r1) {
-        for (int64_t r = r0; r < r1; ++r) {
-          const float* row = m.row(r);
-          double acc = 0;
-          for (int64_t c = 0; c < cols; ++c)
-            acc += static_cast<double>(row[c]) * row[c];
-          out[static_cast<size_t>(r)] = static_cast<float>(std::sqrt(acc));
-        }
+        for (int64_t r = r0; r < r1; ++r)
+          out[static_cast<size_t>(r)] =
+              static_cast<float>(std::sqrt(kt.sumsq(m.row(r), cols)));
       },
       row_grain(2 * cols));
   return out;

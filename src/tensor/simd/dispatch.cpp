@@ -1,0 +1,204 @@
+// Level resolution and kernel-table dispatch. cpuid is probed once; the
+// active level is max_supported unless overridden by APOLLO_SIMD or
+// set_level(). Tables are immutable per-level constants, so table(level) is
+// safe to call concurrently from pool workers.
+#include "tensor/simd/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "tensor/check.h"
+#include "tensor/simd/kernels_decl.h"
+
+namespace apollo::simd {
+namespace {
+
+constexpr int kLevelNone = -1;
+
+Level probe_max_level() {
+#if defined(__x86_64__) || defined(_M_X64)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return Level::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Level::kAvx2;
+  }
+#endif
+  return Level::kScalar;
+}
+
+Level max_level_cached() {
+  static const Level level = probe_max_level();
+  return level;
+}
+
+bool parse_level(const char* s, Level* out) {
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = Level::kScalar;
+    return true;
+  }
+  if (std::strcmp(s, "avx2") == 0) {
+    *out = Level::kAvx2;
+    return true;
+  }
+  if (std::strcmp(s, "avx512") == 0) {
+    *out = Level::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+// Resolve APOLLO_SIMD once; unsupported or unknown values warn and fall
+// back so a pinned-scalar script still runs on any machine.
+Level env_or_cpuid_level() {
+  static std::once_flag once;
+  static Level resolved = Level::kScalar;
+  std::call_once(once, [] {
+    resolved = max_level_cached();
+    const char* env = std::getenv("APOLLO_SIMD");
+    if (env == nullptr || env[0] == '\0') return;
+    Level req;
+    if (!parse_level(env, &req)) {
+      std::fprintf(stderr,
+                   "[apollo] APOLLO_SIMD=%s is not scalar|avx2|avx512; "
+                   "using %s\n",
+                   env, level_name(resolved));
+      return;
+    }
+    if (req > max_level_cached()) {
+      std::fprintf(stderr,
+                   "[apollo] APOLLO_SIMD=%s unsupported on this CPU; "
+                   "using %s\n",
+                   env, level_name(resolved));
+      return;
+    }
+    resolved = req;
+  });
+  return resolved;
+}
+
+// set_level() override; kLevelNone means "no override".
+std::atomic<int> g_override{kLevelNone};
+
+KernelTable make_table(Level level) {
+  using namespace detail;
+  KernelTable t;
+  t.level = level;
+  switch (level) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Level::kAvx512:
+      t.gemm_row_align = 8;
+      t.gemm = gemm_avx512;
+      t.axpy = axpy_avx512;
+      t.scale = scale_avx512;
+      t.hadamard = hadamard_avx512;
+      t.sum = sum_avx512;
+      t.sumsq = sumsq_avx512;
+      t.dot = dot_avx512;
+      t.abs_max = abs_max_avx512;
+      t.exp = exp_avx512;
+      t.softmax = softmax_avx512;
+      t.rmsnorm_row = rmsnorm_row_avx512;
+      t.silu = silu_avx512;
+      return t;
+    case Level::kAvx2:
+      t.gemm_row_align = 6;
+      t.gemm = gemm_avx2;
+      t.axpy = axpy_avx2;
+      t.scale = scale_avx2;
+      t.hadamard = hadamard_avx2;
+      t.sum = sum_avx2;
+      t.sumsq = sumsq_avx2;
+      t.dot = dot_avx2;
+      t.abs_max = abs_max_avx2;
+      t.exp = exp_avx2;
+      t.softmax = softmax_avx2;
+      t.rmsnorm_row = rmsnorm_row_avx2;
+      t.silu = silu_avx2;
+      return t;
+#endif
+    default:
+      t.level = Level::kScalar;
+      t.gemm_row_align = 1;
+      t.gemm = gemm_scalar;
+      t.axpy = axpy_scalar;
+      t.scale = scale_scalar;
+      t.hadamard = hadamard_scalar;
+      t.sum = sum_scalar;
+      t.sumsq = sumsq_scalar;
+      t.dot = dot_scalar;
+      t.abs_max = abs_max_scalar;
+      t.exp = exp_scalar;
+      t.softmax = softmax_scalar;
+      t.rmsnorm_row = rmsnorm_row_scalar;
+      t.silu = silu_scalar;
+      return t;
+  }
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kAvx512: return "avx512";
+    case Level::kAvx2: return "avx2";
+    default: return "scalar";
+  }
+}
+
+Level max_supported_level() { return max_level_cached(); }
+
+std::vector<Level> available_levels() {
+  std::vector<Level> out{Level::kScalar};
+  if (max_level_cached() >= Level::kAvx2) out.push_back(Level::kAvx2);
+  if (max_level_cached() >= Level::kAvx512) out.push_back(Level::kAvx512);
+  return out;
+}
+
+Level active_level() {
+  const int ov = g_override.load(std::memory_order_acquire);
+  if (ov != kLevelNone) return static_cast<Level>(ov);
+  return env_or_cpuid_level();
+}
+
+bool set_level(Level level) {
+  if (level > max_level_cached()) return false;
+  g_override.store(static_cast<int>(level), std::memory_order_release);
+  return true;
+}
+
+void clear_level_override() {
+  g_override.store(kLevelNone, std::memory_order_release);
+}
+
+const KernelTable& table(Level level) {
+  APOLLO_CHECK_MSG(level <= max_level_cached(),
+                   "requested SIMD level unsupported on this CPU");
+  static const KernelTable kScalarTable = make_table(Level::kScalar);
+#if defined(__x86_64__) || defined(_M_X64)
+  static const KernelTable kAvx2Table =
+      make_table(max_level_cached() >= Level::kAvx2 ? Level::kAvx2
+                                                    : Level::kScalar);
+  static const KernelTable kAvx512Table =
+      make_table(max_level_cached() >= Level::kAvx512 ? Level::kAvx512
+                                                      : Level::kScalar);
+  switch (level) {
+    case Level::kAvx512: return kAvx512Table;
+    case Level::kAvx2: return kAvx2Table;
+    default: return kScalarTable;
+  }
+#else
+  return kScalarTable;
+#endif
+}
+
+const KernelTable& table() { return table(active_level()); }
+
+}  // namespace apollo::simd

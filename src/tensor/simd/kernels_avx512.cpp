@@ -1,0 +1,137 @@
+// AVX-512 backend: 16-lane f32 vectors, 8×32 GEMM register tile (16 of 32
+// zmm accumulators). Compiled with -mavx512{f,dq,bw,vl} (src/CMakeLists.txt);
+// only reached after the cpuid gate in dispatch.cpp.
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "tensor/simd/kernels_decl.h"
+#include "tensor/simd/kernels_tmpl.h"
+
+namespace apollo::simd::detail {
+namespace {
+
+struct VecAvx512 {
+  static constexpr int64_t kWidth = 16;
+  static constexpr int64_t kGemmMr = 8;
+  using F = __m512;
+  struct DAcc {
+    __m512d lo;  // lanes 0..7
+    __m512d hi;  // lanes 8..15
+  };
+
+  static __mmask16 mask(int64_t m) {
+    return static_cast<__mmask16>((1u << m) - 1u);
+  }
+
+  static F zero() { return _mm512_setzero_ps(); }
+  static F bcast(float x) { return _mm512_set1_ps(x); }
+  static F load(const float* p) { return _mm512_loadu_ps(p); }
+  static void store(float* p, F v) { _mm512_storeu_ps(p, v); }
+  static F load_partial(const float* p, int64_t m) {
+    return _mm512_maskz_loadu_ps(mask(m), p);
+  }
+  static void store_partial(float* p, F v, int64_t m) {
+    _mm512_mask_storeu_ps(p, mask(m), v);
+  }
+
+  static F add(F a, F b) { return _mm512_add_ps(a, b); }
+  static F sub(F a, F b) { return _mm512_sub_ps(a, b); }
+  static F mul(F a, F b) { return _mm512_mul_ps(a, b); }
+  static F div(F a, F b) { return _mm512_div_ps(a, b); }
+  static F min(F a, F b) { return _mm512_min_ps(a, b); }
+  static F max(F a, F b) { return _mm512_max_ps(a, b); }
+  static F fmadd(F a, F b, F c) { return _mm512_fmadd_ps(a, b, c); }
+  static F abs(F v) { return _mm512_abs_ps(v); }
+  static F round_nearest(F v) {
+    return _mm512_roundscale_ps(v, _MM_FROUND_TO_NEAREST_INT |
+                                       _MM_FROUND_NO_EXC);
+  }
+  // 2^n for integral-valued n in [-126, 127], via the exponent field.
+  static F pow2i(F n) {
+    const __m512i e =
+        _mm512_add_epi32(_mm512_cvtps_epi32(n), _mm512_set1_epi32(127));
+    return _mm512_castsi512_ps(_mm512_slli_epi32(e, 23));
+  }
+
+  static DAcc dzero() {
+    return {_mm512_setzero_pd(), _mm512_setzero_pd()};
+  }
+  static void dadd_f(DAcc& acc, F v) {
+    acc.lo = _mm512_add_pd(acc.lo,
+                           _mm512_cvtps_pd(_mm512_castps512_ps256(v)));
+    acc.hi = _mm512_add_pd(
+        acc.hi, _mm512_cvtps_pd(_mm512_extractf32x8_ps(v, 1)));
+  }
+  static void dfma_f(DAcc& acc, F a, F b) {
+    const __m512d alo = _mm512_cvtps_pd(_mm512_castps512_ps256(a));
+    const __m512d ahi = _mm512_cvtps_pd(_mm512_extractf32x8_ps(a, 1));
+    const __m512d blo = _mm512_cvtps_pd(_mm512_castps512_ps256(b));
+    const __m512d bhi = _mm512_cvtps_pd(_mm512_extractf32x8_ps(b, 1));
+    acc.lo = _mm512_fmadd_pd(alo, blo, acc.lo);
+    acc.hi = _mm512_fmadd_pd(ahi, bhi, acc.hi);
+  }
+  // Lane-ascending (0→15) summation: part of the fixed contraction order.
+  static double dreduce_ordered(const DAcc& acc) {
+    alignas(64) double lanes[16];
+    _mm512_store_pd(lanes, acc.lo);
+    _mm512_store_pd(lanes + 8, acc.hi);
+    double s = 0;
+    for (int j = 0; j < 16; ++j) s += lanes[j];
+    return s;
+  }
+  static float reduce_add_ordered(F v) {
+    alignas(64) float lanes[16];
+    _mm512_store_ps(lanes, v);
+    float s = 0.f;
+    for (int j = 0; j < 16; ++j) s += lanes[j];
+    return s;
+  }
+  static float reduce_max(F v) {
+    alignas(64) float lanes[16];
+    _mm512_store_ps(lanes, v);
+    float m = lanes[0];
+    for (int j = 1; j < 16; ++j) m = lanes[j] > m ? lanes[j] : m;
+    return m;
+  }
+};
+
+using K = Kern<VecAvx512>;
+
+}  // namespace
+
+void gemm_avx512(float* c, int64_t ldc, const float* a, int64_t lda,
+                 bool a_trans, const float* b, int64_t ldb, int64_t i0,
+                 int64_t i1, int64_t n, int64_t k) {
+  K::gemm(c, ldc, a, lda, a_trans, b, ldb, i0, i1, n, k);
+}
+void axpy_avx512(float* y, const float* x, float alpha, int64_t n) {
+  K::axpy(y, x, alpha, n);
+}
+void scale_avx512(float* y, float alpha, int64_t n) {
+  K::scale(y, alpha, n);
+}
+void hadamard_avx512(float* y, const float* x, int64_t n) {
+  K::hadamard(y, x, n);
+}
+double sum_avx512(const float* x, int64_t n) { return K::sum(x, n); }
+double sumsq_avx512(const float* x, int64_t n) { return K::sumsq(x, n); }
+float dot_avx512(const float* a, const float* b, int64_t n) {
+  return K::dot(a, b, n);
+}
+float abs_max_avx512(const float* x, int64_t n) { return K::abs_max(x, n); }
+void exp_avx512(float* dst, const float* src, int64_t n) {
+  K::vexp_buf(dst, src, n);
+}
+void softmax_avx512(float* dst, const float* src, int64_t n) {
+  K::softmax(dst, src, n);
+}
+float rmsnorm_row_avx512(float* dst, const float* src, const float* w,
+                         int64_t n, float eps) {
+  return K::rmsnorm_row(dst, src, w, n, eps);
+}
+void silu_avx512(float* y, float* sig, const float* x, int64_t n) {
+  K::silu(y, sig, x, n);
+}
+
+}  // namespace apollo::simd::detail

@@ -1,0 +1,122 @@
+// Scalar reference backend — the conformance baseline every vector backend
+// is pinned against (tests/simd_conformance_test.cpp) and the portable
+// fallback for CPUs without AVX2.
+//
+// The GEMM and reduction bodies are the repo's historical streaming-scalar
+// kernels, moved here verbatim so APOLLO_SIMD=scalar reproduces the
+// pre-dispatch trajectories. The elementwise kernels pin their accumulate
+// to a single rounding with std::fma: that makes them bit-exact against the
+// fused-multiply-add vector backends at every level (the cross-level
+// exactness contract in simd.h).
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/simd/kernels_decl.h"
+
+namespace apollo::simd::detail {
+
+void gemm_scalar(float* c, int64_t ldc, const float* a, int64_t lda,
+                 bool a_trans, const float* b, int64_t ldb, int64_t i0,
+                 int64_t i1, int64_t n, int64_t k) {
+  if (i0 >= i1 || n <= 0) return;
+  if (!a_trans) {
+    // i-k-j ordering: the inner loop streams rows of B and C; each c[i][j]
+    // accumulates over p in ascending order.
+    for (int64_t i = i0; i < i1; ++i) {
+      float* __restrict crow = c + i * ldc;
+      const float* __restrict arow = a + i * lda;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.f) continue;
+        const float* __restrict brow = b + p * ldb;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+  // C = Aᵀ·B: p-outer streaming restricted to the band — every c[i][j]
+  // still accumulates over p ascending, independent of the band split.
+  for (int64_t p = 0; p < k; ++p) {
+    const float* __restrict arow = a + p * lda;
+    const float* __restrict brow = b + p * ldb;
+    for (int64_t i = i0; i < i1; ++i) {
+      const float av = arow[i];
+      if (av == 0.f) continue;
+      float* __restrict crow = c + i * ldc;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void axpy_scalar(float* y, const float* x, float alpha, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+void scale_scalar(float* y, float alpha, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] *= alpha;
+}
+
+void hadamard_scalar(float* y, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] *= x[i];
+}
+
+double sum_scalar(const float* x, int64_t n) {
+  double acc = 0;
+  for (int64_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+double sumsq_scalar(const float* x, int64_t n) {
+  double acc = 0;
+  for (int64_t i = 0; i < n; ++i)
+    acc += static_cast<double>(x[i]) * x[i];
+  return acc;
+}
+
+float dot_scalar(const float* a, const float* b, int64_t n) {
+  float acc = 0.f;
+  for (int64_t i = 0; i < n; ++i) acc = std::fma(a[i], b[i], acc);
+  return acc;
+}
+
+float abs_max_scalar(const float* x, int64_t n) {
+  float mx = 0.f;
+  for (int64_t i = 0; i < n; ++i) mx = std::max(mx, std::fabs(x[i]));
+  return mx;
+}
+
+void exp_scalar(float* dst, const float* src, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = std::exp(src[i]);
+}
+
+void softmax_scalar(float* dst, const float* src, int64_t n) {
+  float mx = src[0];
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, src[i]);
+  double denom = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float e = std::exp(src[i] - mx);
+    dst[i] = e;
+    denom += e;
+  }
+  const float inv = static_cast<float>(1.0 / denom);
+  for (int64_t i = 0; i < n; ++i) dst[i] *= inv;
+}
+
+float rmsnorm_row_scalar(float* dst, const float* src, const float* w,
+                         int64_t n, float eps) {
+  const double ss = sumsq_scalar(src, n);
+  const float ir =
+      1.f / std::sqrt(static_cast<float>(ss / static_cast<double>(n)) + eps);
+  for (int64_t i = 0; i < n; ++i) dst[i] = src[i] * ir * w[i];
+  return ir;
+}
+
+void silu_scalar(float* y, float* sig, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float s = 1.f / (1.f + std::exp(-x[i]));
+    sig[i] = s;
+    y[i] = x[i] * s;
+  }
+}
+
+}  // namespace apollo::simd::detail

@@ -1,0 +1,354 @@
+// Internal: the vector backend engine, templated over a per-ISA vector
+// wrapper V (defined with intrinsics inside kernels_avx2.cpp /
+// kernels_avx512.cpp). One implementation, two instantiations — the AVX2
+// and AVX-512 backends differ only in lane width and register budget.
+//
+// V must provide:
+//   kWidth                      f32 lanes per vector
+//   kGemmMr                     GEMM micro-kernel row-tile height
+//   F                           the f32 vector type
+//   DAcc                        a double accumulator covering kWidth lanes
+//   zero() load(p) store(p,v) load_partial(p,m) store_partial(p,v,m)
+//   bcast(x) add sub mul div min max fmadd(a,b,c)  abs(v)
+//   round_nearest(v) pow2i(v)   (v integral, in [-127, 127])
+//   dzero() dadd_f(acc,v) dfma_f(acc,a,b) dreduce_ordered(acc)
+//   reduce_add_ordered(v) reduce_max(v)
+//
+// Determinism: every loop structure here is a pure function of the input
+// shape. Reductions use the fixed lane tree (lane j accumulates indices
+// ≡ j mod kWidth), reduce lanes in ascending order, then append a
+// sequential scalar tail — so a fixed dispatch level is bit-identical
+// run-to-run and across any threadpool partition of the caller.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace apollo::simd::detail {
+
+template <class V>
+struct Kern {
+  using F = typename V::F;
+  using DAcc = typename V::DAcc;
+  static constexpr int64_t W = V::kWidth;
+  static constexpr int64_t MR = V::kGemmMr;
+  static constexpr int64_t NR = 2 * W;  // micro-kernel column width
+  static constexpr int64_t KC = 256;    // k-blocking: B panel depth
+  static constexpr int64_t NC = 1024;   // n-blocking: B panel width cap
+
+  // ---- elementwise (bit-exact vs the fma-pinned scalar reference) --------
+
+  static void axpy(float* y, const float* x, float alpha, int64_t n) {
+    const F va = V::bcast(alpha);
+    int64_t i = 0;
+    for (; i + W <= n; i += W)
+      V::store(y + i, V::fmadd(va, V::load(x + i), V::load(y + i)));
+    for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+  }
+
+  static void scale(float* y, float alpha, int64_t n) {
+    const F va = V::bcast(alpha);
+    int64_t i = 0;
+    for (; i + W <= n; i += W) V::store(y + i, V::mul(V::load(y + i), va));
+    for (; i < n; ++i) y[i] *= alpha;
+  }
+
+  static void hadamard(float* y, const float* x, int64_t n) {
+    int64_t i = 0;
+    for (; i + W <= n; i += W)
+      V::store(y + i, V::mul(V::load(y + i), V::load(x + i)));
+    for (; i < n; ++i) y[i] *= x[i];
+  }
+
+  // ---- reductions (fixed lane tree + sequential tail) --------------------
+
+  static double sum(const float* x, int64_t n) {
+    DAcc acc = V::dzero();
+    int64_t i = 0;
+    for (; i + W <= n; i += W) V::dadd_f(acc, V::load(x + i));
+    double s = V::dreduce_ordered(acc);
+    for (; i < n; ++i) s += x[i];
+    return s;
+  }
+
+  static double sumsq(const float* x, int64_t n) {
+    DAcc acc = V::dzero();
+    int64_t i = 0;
+    for (; i + W <= n; i += W) {
+      const F v = V::load(x + i);
+      V::dfma_f(acc, v, v);
+    }
+    double s = V::dreduce_ordered(acc);
+    for (; i < n; ++i) s += static_cast<double>(x[i]) * x[i];
+    return s;
+  }
+
+  static float dot(const float* a, const float* b, int64_t n) {
+    F acc = V::zero();
+    int64_t i = 0;
+    for (; i + W <= n; i += W)
+      acc = V::fmadd(V::load(a + i), V::load(b + i), acc);
+    float s = V::reduce_add_ordered(acc);
+    for (; i < n; ++i) s = std::fma(a[i], b[i], s);
+    return s;
+  }
+
+  static float abs_max(const float* x, int64_t n) {
+    float mx = 0.f;
+    int64_t i = 0;
+    if (n >= W) {
+      F vm = V::abs(V::load(x));
+      for (i = W; i + W <= n; i += W)
+        vm = V::max(vm, V::abs(V::load(x + i)));
+      mx = V::reduce_max(vm);
+    }
+    for (; i < n; ++i) mx = std::max(mx, std::fabs(x[i]));
+    return mx;
+  }
+
+  // ---- transcendental ----------------------------------------------------
+
+  // Cephes-style expf: Cody–Waite range reduction, degree-6 polynomial,
+  // 2^n by exponent-field construction. ≤ ~2 ulp over the clamped domain;
+  // every operation is an fma/mul, so the result is a pure function of the
+  // input — reproducible at a fixed level.
+  static F vexp(F x) {
+    x = V::min(x, V::bcast(88.3762626647949f));
+    x = V::max(x, V::bcast(-87.3365478515625f));
+    const F n = V::round_nearest(V::mul(x, V::bcast(1.44269504088896341f)));
+    F r = V::fmadd(n, V::bcast(-0.693359375f), x);
+    r = V::fmadd(n, V::bcast(2.12194440e-4f), r);
+    F p = V::bcast(1.9875691500e-4f);
+    p = V::fmadd(p, r, V::bcast(1.3981999507e-3f));
+    p = V::fmadd(p, r, V::bcast(8.3334519073e-3f));
+    p = V::fmadd(p, r, V::bcast(4.1665795894e-2f));
+    p = V::fmadd(p, r, V::bcast(1.6666665459e-1f));
+    p = V::fmadd(p, r, V::bcast(5.0000001201e-1f));
+    const F r2 = V::mul(r, r);
+    const F y = V::fmadd(p, r2, V::add(r, V::bcast(1.f)));
+    return V::mul(y, V::pow2i(n));
+  }
+
+  static void vexp_buf(float* dst, const float* src, int64_t n) {
+    int64_t i = 0;
+    for (; i + W <= n; i += W) V::store(dst + i, vexp(V::load(src + i)));
+    if (i < n) {
+      const int64_t m = n - i;
+      // Masked lanes load as 0; their exp is discarded by the partial store.
+      V::store_partial(dst + i, vexp(V::load_partial(src + i, m)), m);
+    }
+  }
+
+  static void softmax(float* dst, const float* src, int64_t n) {
+    // Row max (fp max is associative — exact at every level).
+    float mx = src[0];
+    int64_t i = 0;
+    if (n >= W) {
+      F vm = V::load(src);
+      for (i = W; i + W <= n; i += W) vm = V::max(vm, V::load(src + i));
+      mx = V::reduce_max(vm);
+    }
+    for (; i < n; ++i) mx = std::max(mx, src[i]);
+
+    const F vmx = V::bcast(mx);
+    i = 0;
+    for (; i + W <= n; i += W)
+      V::store(dst + i, vexp(V::sub(V::load(src + i), vmx)));
+    if (i < n) {
+      const int64_t m = n - i;
+      V::store_partial(dst + i,
+                       vexp(V::sub(V::load_partial(src + i, m), vmx)), m);
+    }
+
+    const double denom = sum(dst, n);
+    scale(dst, static_cast<float>(1.0 / denom), n);
+  }
+
+  static float rmsnorm_row(float* dst, const float* src, const float* w,
+                           int64_t n, float eps) {
+    const double ss = sumsq(src, n);
+    const float ir = 1.f / std::sqrt(
+                               static_cast<float>(ss / static_cast<double>(n)) +
+                               eps);
+    const F vir = V::bcast(ir);
+    int64_t i = 0;
+    for (; i + W <= n; i += W)
+      V::store(dst + i, V::mul(V::mul(V::load(src + i), vir), V::load(w + i)));
+    for (; i < n; ++i) dst[i] = src[i] * ir * w[i];
+    return ir;
+  }
+
+  static void silu(float* y, float* sig, const float* x, int64_t n) {
+    const F one = V::bcast(1.f);
+    int64_t i = 0;
+    for (; i + W <= n; i += W) {
+      const F v = V::load(x + i);
+      const F s = V::div(one, V::add(one, vexp(V::sub(V::zero(), v))));
+      V::store(sig + i, s);
+      V::store(y + i, V::mul(v, s));
+    }
+    for (; i < n; ++i) {
+      // Same polynomial as the vector body so the tail is level-consistent.
+      const float s = 1.f / (1.f + scalar_poly_exp(-x[i]));
+      sig[i] = s;
+      y[i] = x[i] * s;
+    }
+  }
+
+  // Scalar mirror of vexp (same constants, same operation order via fma) so
+  // per-element tails match the vector body bit-for-bit.
+  static float scalar_poly_exp(float x) {
+    x = std::min(x, 88.3762626647949f);
+    x = std::max(x, -87.3365478515625f);
+    const float n = std::nearbyint(x * 1.44269504088896341f);
+    float r = std::fma(n, -0.693359375f, x);
+    r = std::fma(n, 2.12194440e-4f, r);
+    float p = 1.9875691500e-4f;
+    p = std::fma(p, r, 1.3981999507e-3f);
+    p = std::fma(p, r, 8.3334519073e-3f);
+    p = std::fma(p, r, 4.1665795894e-2f);
+    p = std::fma(p, r, 1.6666665459e-1f);
+    p = std::fma(p, r, 5.0000001201e-1f);
+    const float y = std::fma(p, r * r, r + 1.f);
+    return std::ldexp(y, static_cast<int>(n));
+  }
+
+  // ---- GEMM --------------------------------------------------------------
+
+  // Register-tiled micro-kernel: kMr rows × NR columns of C accumulate in
+  // registers over the whole kc depth, then flow to memory once. `a` is
+  // either kMr row pointers' base (row-major, stride lda) or a packed
+  // p-major tile (stride kMr) for the transposed case.
+  template <int kMr, bool kPackedA>
+  static void micro(float* c, int64_t ldc, const float* a, int64_t lda,
+                    const float* bp, int64_t kc, int64_t nr) {
+    F acc0[kMr], acc1[kMr];
+    for (int r = 0; r < kMr; ++r) {
+      acc0[r] = V::zero();
+      acc1[r] = V::zero();
+    }
+    const float* arow[kMr];
+    for (int r = 0; r < kMr; ++r)
+      arow[r] = kPackedA ? nullptr : a + r * lda;
+    for (int64_t p = 0; p < kc; ++p) {
+      const F b0 = V::load(bp + p * NR);
+      const F b1 = V::load(bp + p * NR + W);
+      for (int r = 0; r < kMr; ++r) {
+        const F av = V::bcast(kPackedA ? a[p * kMr + r] : arow[r][p]);
+        acc0[r] = V::fmadd(av, b0, acc0[r]);
+        acc1[r] = V::fmadd(av, b1, acc1[r]);
+      }
+    }
+    for (int r = 0; r < kMr; ++r) {
+      float* crow = c + r * ldc;
+      if (nr >= W) {
+        V::store(crow, V::add(V::load(crow), acc0[r]));
+        const int64_t rest = nr - W;
+        if (rest >= W) {
+          V::store(crow + W, V::add(V::load(crow + W), acc1[r]));
+        } else if (rest > 0) {
+          // Padded B lanes are zero, so the extra acc lanes are exact zeros
+          // and the masked add/store is safe and deterministic.
+          V::store_partial(crow + W,
+                           V::add(V::load_partial(crow + W, rest), acc1[r]),
+                           rest);
+        }
+      } else {
+        V::store_partial(crow, V::add(V::load_partial(crow, nr), acc0[r]),
+                         nr);
+      }
+    }
+  }
+
+  template <bool kPackedA>
+  static void micro_dispatch(int64_t mr, float* c, int64_t ldc,
+                             const float* a, int64_t lda, const float* bp,
+                             int64_t kc, int64_t nr) {
+    switch (mr) {
+      case 1: micro<1, kPackedA>(c, ldc, a, lda, bp, kc, nr); break;
+      case 2: micro<2, kPackedA>(c, ldc, a, lda, bp, kc, nr); break;
+      case 3: micro<3, kPackedA>(c, ldc, a, lda, bp, kc, nr); break;
+      case 4: micro<4, kPackedA>(c, ldc, a, lda, bp, kc, nr); break;
+      case 5: micro<5, kPackedA>(c, ldc, a, lda, bp, kc, nr); break;
+      case 6: micro<6, kPackedA>(c, ldc, a, lda, bp, kc, nr); break;
+      case 7: micro<7, kPackedA>(c, ldc, a, lda, bp, kc, nr); break;
+      default: micro<8, kPackedA>(c, ldc, a, lda, bp, kc, nr); break;
+    }
+  }
+
+  // Pack a kc×nc block of B (row stride ldb) into NR-wide column panels,
+  // zero-padding the last panel so micro-kernel loads are always full-width.
+  static void pack_b(std::vector<float>& buf, const float* b, int64_t ldb,
+                     int64_t kc, int64_t nc) {
+    const int64_t panels = (nc + NR - 1) / NR;
+    buf.resize(static_cast<size_t>(panels * kc * NR));
+    for (int64_t pan = 0; pan < panels; ++pan) {
+      const int64_t j0 = pan * NR;
+      const int64_t w = std::min<int64_t>(NR, nc - j0);
+      float* dst = buf.data() + pan * kc * NR;
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* src = b + p * ldb + j0;
+        int64_t j = 0;
+        for (; j < w; ++j) dst[j] = src[j];
+        for (; j < NR; ++j) dst[j] = 0.f;
+        dst += NR;
+      }
+    }
+  }
+
+  // Pack mr rows of the transposed-A operand (element (i+r, p) at
+  // a[p*lda + r]) into a p-major tile with stride mr, so the micro-kernel
+  // broadcasts from contiguous memory instead of striding by lda.
+  static void pack_at(std::vector<float>& buf, const float* a, int64_t lda,
+                      int64_t kc, int64_t mr) {
+    buf.resize(static_cast<size_t>(kc * mr));
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* src = a + p * lda;
+      float* dst = buf.data() + p * mr;
+      for (int64_t r = 0; r < mr; ++r) dst[r] = src[r];
+    }
+  }
+
+  static void gemm(float* c, int64_t ldc, const float* a, int64_t lda,
+                   bool a_trans, const float* b, int64_t ldb, int64_t i0,
+                   int64_t i1, int64_t n, int64_t k) {
+    if (i0 >= i1 || n <= 0 || k <= 0) return;
+    // Per-thread pack scratch: contents are fully rewritten per block, so
+    // results never depend on which worker ran which band.
+    thread_local std::vector<float> bpack;
+    thread_local std::vector<float> apack;
+    for (int64_t jc = 0; jc < n; jc += NC) {
+      const int64_t nc = std::min(NC, n - jc);
+      for (int64_t kb = 0; kb < k; kb += KC) {
+        const int64_t kc = std::min(KC, k - kb);
+        pack_b(bpack, b + kb * ldb + jc, ldb, kc, nc);
+        for (int64_t i = i0; i < i1; i += MR) {
+          const int64_t mr = std::min<int64_t>(MR, i1 - i);
+          const float* abase;
+          if (a_trans) {
+            pack_at(apack, a + kb * lda + i, lda, kc, mr);
+            abase = apack.data();
+          } else {
+            abase = a + i * lda + kb;
+          }
+          for (int64_t pan = 0; pan * NR < nc; ++pan) {
+            const int64_t nr = std::min<int64_t>(NR, nc - pan * NR);
+            float* ctile = c + i * ldc + jc + pan * NR;
+            const float* bpanel = bpack.data() + pan * kc * NR;
+            if (a_trans) {
+              micro_dispatch<true>(mr, ctile, ldc, abase, lda, bpanel, kc,
+                                   nr);
+            } else {
+              micro_dispatch<false>(mr, ctile, ldc, abase, lda, bpanel, kc,
+                                    nr);
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace apollo::simd::detail

@@ -90,6 +90,13 @@ TEST_F(LintTest, PlantedViolationsOfDistinctRulesAreCaught) {
   put("src/bad_printf.cpp",
       "#include <cstdio>\n"
       "void show(double x) { std::printf(\"%f\\n\", x); }\n");
+  put("src/bad_simd.cpp",
+      "#include <immintrin.h>\n"
+      "float hsum8(const float* p) {\n"
+      "  __m256 v = _mm256_loadu_ps(p);\n"
+      "  __m128 lo = _mm256_castps256_ps128(v);\n"
+      "  return _mm_cvtss_f32(lo);\n"
+      "}\n");
   put("src/bad_accum.cpp",
       "#include <unordered_map>\n"
       "float total(const std::unordered_map<int, float>& m) {\n"
@@ -119,6 +126,23 @@ TEST_F(LintTest, PlantedViolationsOfDistinctRulesAreCaught) {
   EXPECT_NE(r.output.find("src/bad_accum.cpp:4: unordered-float-accum:"),
             std::string::npos)
       << r.output;
+  EXPECT_NE(r.output.find("src/bad_simd.cpp:1: raw-simd-intrinsic:"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/bad_simd.cpp:3: raw-simd-intrinsic:"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, SimdIntrinsicsAllowedInsideTensorSimd) {
+  put("src/tensor/simd/kernels_demo.cpp",
+      "#include <immintrin.h>\n"
+      "float first(const float* p) {\n"
+      "  __m256 v = _mm256_loadu_ps(p);\n"
+      "  return _mm256_cvtss_f32(v);\n"
+      "}\n");
+  const RunResult r = lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
 TEST_F(LintTest, ShapePreconditionRuleFiresInOptimEntryPoints) {
@@ -178,8 +202,9 @@ TEST(LintCliTest, ListRulesNamesEveryRule) {
   const RunResult r = run_lint("--list-rules");
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule :
-       {"raw-thread", "raw-rng", "unordered-float-accum", "pragma-once",
-        "using-namespace-header", "raw-new-delete", "printf-float-precision",
+       {"raw-thread", "raw-rng", "raw-simd-intrinsic",
+        "unordered-float-accum", "pragma-once", "using-namespace-header",
+        "raw-new-delete", "printf-float-precision",
         "check-shape-preconditions"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }

@@ -1,0 +1,378 @@
+// Conformance harness for the SIMD kernel layer (tensor/simd/simd.h).
+//
+// Every vector dispatch level available on this machine is pinned against
+// the scalar reference table over randomized shapes — odd sizes (1×1, 1×N,
+// prime dims), non-lane-multiple tails, transposed operands, padded row
+// strides, and unaligned base pointers. Elementwise kernels must match the
+// reference bit-for-bit (both sides pin the accumulate to one fma
+// rounding); contractions (GEMM, reductions, softmax, RMSNorm, SiLU)
+// reorder per level and are held to bounded-ULP / forward-error bounds.
+//
+// On a GEMM failure the harness greedily shrinks (m, n, k) while the case
+// still fails and reports the minimized shape in the assertion message, so
+// a conformance break lands as a small reproducer, not a 512³ diff.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/simd/simd.h"
+
+namespace {
+
+namespace simd = apollo::simd;
+using apollo::Rng;
+
+// Monotonic integer mapping of float order: ulp distance is the difference.
+int64_t ordered(float f) {
+  int32_t i;
+  std::memcpy(&i, &f, sizeof(i));
+  return i >= 0 ? static_cast<int64_t>(i)
+                : static_cast<int64_t>(0x80000000LL) - i;
+}
+
+int64_t ulp_diff(float a, float b) {
+  if (a == b) return 0;  // treats +0 and −0 as equal
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<int64_t>::max();
+  const int64_t d = ordered(a) - ordered(b);
+  return d < 0 ? -d : d;
+}
+
+std::vector<float> rand_vec(Rng& rng, int64_t n, float scale = 1.f) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = scale * static_cast<float>(rng.next_gaussian());
+  return v;
+}
+
+std::vector<simd::Level> vector_levels() {
+  std::vector<simd::Level> out;
+  for (simd::Level lv : simd::available_levels())
+    if (lv != simd::Level::kScalar) out.push_back(lv);
+  return out;
+}
+
+// Sizes chosen to hit every tail class of both lane widths (8 and 16):
+// sub-width, exact width, width±1, multiple+tail, primes, and a large run.
+const int64_t kLens[] = {1, 2, 3, 5, 7, 8, 9, 15, 16, 17,
+                         24, 31, 32, 33, 47, 64, 97, 1000, 1031};
+
+// ---------- elementwise: bit-exact across levels ---------------------------
+
+TEST(SimdConformance, ElementwiseBitExact) {
+  const simd::KernelTable& ref = simd::table(simd::Level::kScalar);
+  Rng rng(0xe1e1u);
+  for (simd::Level lv : vector_levels()) {
+    const simd::KernelTable& kt = simd::table(lv);
+    for (int64_t n : kLens) {
+      // +1 offset: exercise unaligned base pointers at every width.
+      for (int64_t off : {int64_t{0}, int64_t{1}}) {
+        const std::vector<float> x = rand_vec(rng, n + off);
+        const std::vector<float> y0 = rand_vec(rng, n + off);
+        const float alpha = static_cast<float>(rng.next_gaussian());
+
+        std::vector<float> ya = y0, yb = y0;
+        ref.axpy(ya.data() + off, x.data() + off, alpha, n);
+        kt.axpy(yb.data() + off, x.data() + off, alpha, n);
+        ASSERT_EQ(std::memcmp(ya.data(), yb.data(), ya.size() * 4), 0)
+            << "axpy level=" << simd::level_name(lv) << " n=" << n
+            << " off=" << off;
+
+        ya = y0; yb = y0;
+        ref.scale(ya.data() + off, alpha, n);
+        kt.scale(yb.data() + off, alpha, n);
+        ASSERT_EQ(std::memcmp(ya.data(), yb.data(), ya.size() * 4), 0)
+            << "scale level=" << simd::level_name(lv) << " n=" << n;
+
+        ya = y0; yb = y0;
+        ref.hadamard(ya.data() + off, x.data() + off, n);
+        kt.hadamard(yb.data() + off, x.data() + off, n);
+        ASSERT_EQ(std::memcmp(ya.data(), yb.data(), ya.size() * 4), 0)
+            << "hadamard level=" << simd::level_name(lv) << " n=" << n;
+
+        const float ma = ref.abs_max(x.data() + off, n);
+        const float mb = kt.abs_max(x.data() + off, n);
+        ASSERT_EQ(ma, mb) << "abs_max level=" << simd::level_name(lv)
+                          << " n=" << n;
+      }
+    }
+  }
+}
+
+// ---------- reductions: double accumulators, tiny relative slack ----------
+
+TEST(SimdConformance, ReductionsBoundedError) {
+  const simd::KernelTable& ref = simd::table(simd::Level::kScalar);
+  Rng rng(0x5ed5u);
+  for (simd::Level lv : vector_levels()) {
+    const simd::KernelTable& kt = simd::table(lv);
+    for (int64_t n : kLens) {
+      const std::vector<float> x = rand_vec(rng, n);
+      const std::vector<float> y = rand_vec(rng, n);
+
+      // Double-accumulated sums: reassociation error is ~n·eps_double
+      // relative to the magnitude sum.
+      double mag = 0;
+      for (float v : x) mag += std::fabs(v);
+      const double stol = 1e-12 * (mag + 1.0);
+      EXPECT_NEAR(ref.sum(x.data(), n), kt.sum(x.data(), n), stol)
+          << "sum level=" << simd::level_name(lv) << " n=" << n;
+      EXPECT_NEAR(ref.sumsq(x.data(), n), kt.sumsq(x.data(), n),
+                  1e-12 * (ref.sumsq(x.data(), n) + 1.0))
+          << "sumsq level=" << simd::level_name(lv) << " n=" << n;
+
+      // Float dot: both sides obey |err| ≤ γ_n·Σ|a||b|; allow the sum of
+      // both bounds.
+      double magd = 0;
+      for (int64_t i = 0; i < n; ++i)
+        magd += std::fabs(static_cast<double>(x[static_cast<size_t>(i)]) *
+                          y[static_cast<size_t>(i)]);
+      const double eps = std::numeric_limits<float>::epsilon();
+      const double dtol = 2.0 * static_cast<double>(n + 2) * eps * magd +
+                          std::numeric_limits<float>::min();
+      EXPECT_NEAR(ref.dot(x.data(), y.data(), n),
+                  kt.dot(x.data(), y.data(), n), dtol)
+          << "dot level=" << simd::level_name(lv) << " n=" << n;
+    }
+  }
+}
+
+// ---------- transcendental rows -------------------------------------------
+
+TEST(SimdConformance, ExpSoftmaxRmsnormSiluUlps) {
+  const simd::KernelTable& ref = simd::table(simd::Level::kScalar);
+  Rng rng(0x0f0fu);
+  for (simd::Level lv : vector_levels()) {
+    const simd::KernelTable& kt = simd::table(lv);
+    for (int64_t n : kLens) {
+      // Mix moderate logits with extremes. exp's ULP contract holds inside
+      // the vector clamp range [-87.34, 88.38] (see simd.h), so the exp
+      // probes sit at its edges; softmax gets a wider spread below and
+      // hybrid (ulp-or-absolute) tolerance covers its underflowed tail.
+      std::vector<float> x = rand_vec(rng, n, 4.f);
+      if (n > 2) {
+        x[0] = 88.f;
+        x[static_cast<size_t>(n - 1)] = -87.f;
+      }
+      std::vector<float> ea(static_cast<size_t>(n)),
+          eb(static_cast<size_t>(n));
+      ref.exp(ea.data(), x.data(), n);
+      kt.exp(eb.data(), x.data(), n);
+      for (int64_t i = 0; i < n; ++i)
+        ASSERT_LE(ulp_diff(ea[static_cast<size_t>(i)],
+                           eb[static_cast<size_t>(i)]),
+                  16)
+            << "exp level=" << simd::level_name(lv) << " n=" << n
+            << " i=" << i << " x=" << x[static_cast<size_t>(i)];
+
+      std::vector<float> xs = x;
+      if (n > 2) {
+        xs[0] = 60.f;
+        xs[static_cast<size_t>(n - 1)] = -120.f;  // prob underflows to ~0
+      }
+      std::vector<float> sa(static_cast<size_t>(n)),
+          sb(static_cast<size_t>(n));
+      ref.softmax(sa.data(), xs.data(), n);
+      kt.softmax(sb.data(), xs.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        const float pa = sa[static_cast<size_t>(i)];
+        const float pb = sb[static_cast<size_t>(i)];
+        ASSERT_TRUE(ulp_diff(pa, pb) <= 256 ||
+                    std::fabs(static_cast<double>(pa) - pb) <= 1e-30)
+            << "softmax level=" << simd::level_name(lv) << " n=" << n
+            << " i=" << i << " " << pa << " vs " << pb;
+      }
+
+      const std::vector<float> w = rand_vec(rng, n);
+      std::vector<float> ra(static_cast<size_t>(n)),
+          rb(static_cast<size_t>(n));
+      const float ia = ref.rmsnorm_row(ra.data(), x.data(), w.data(), n,
+                                       1e-6f);
+      const float ib = kt.rmsnorm_row(rb.data(), x.data(), w.data(), n,
+                                      1e-6f);
+      ASSERT_LE(ulp_diff(ia, ib), 4)
+          << "rmsnorm ir level=" << simd::level_name(lv) << " n=" << n;
+      for (int64_t i = 0; i < n; ++i)
+        ASSERT_LE(ulp_diff(ra[static_cast<size_t>(i)],
+                           rb[static_cast<size_t>(i)]),
+                  64)
+            << "rmsnorm level=" << simd::level_name(lv) << " n=" << n
+            << " i=" << i;
+
+      std::vector<float> ya(static_cast<size_t>(n)),
+          yb(static_cast<size_t>(n)), ga(static_cast<size_t>(n)),
+          gb(static_cast<size_t>(n));
+      ref.silu(ya.data(), ga.data(), x.data(), n);
+      kt.silu(yb.data(), gb.data(), x.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_LE(ulp_diff(ga[static_cast<size_t>(i)],
+                           gb[static_cast<size_t>(i)]),
+                  32)
+            << "silu sigma level=" << simd::level_name(lv) << " n=" << n
+            << " i=" << i;
+        ASSERT_LE(ulp_diff(ya[static_cast<size_t>(i)],
+                           yb[static_cast<size_t>(i)]),
+                  64)
+            << "silu level=" << simd::level_name(lv) << " n=" << n
+            << " i=" << i;
+      }
+    }
+  }
+}
+
+// ---------- GEMM -----------------------------------------------------------
+
+struct GemmCase {
+  int64_t m, n, k;
+  bool a_trans;
+  bool accumulate;
+  int64_t pad;     // extra row-stride padding on every operand
+  uint64_t seed;
+};
+
+// Runs one case at `lv` vs the scalar reference; returns a description of
+// the first failing element, or nullopt on success.
+std::optional<std::string> run_gemm_case(simd::Level lv, const GemmCase& gc) {
+  const simd::KernelTable& ref = simd::table(simd::Level::kScalar);
+  const simd::KernelTable& kt = simd::table(lv);
+  const int64_t m = gc.m, n = gc.n, k = gc.k;
+  const int64_t lda = (gc.a_trans ? m : k) + gc.pad;
+  const int64_t ldb = n + gc.pad;
+  const int64_t ldc = n + gc.pad;
+  Rng rng(gc.seed);
+  const std::vector<float> a =
+      rand_vec(rng, (gc.a_trans ? k : m) * lda);
+  const std::vector<float> b = rand_vec(rng, k * ldb);
+  std::vector<float> c0(static_cast<size_t>(m * ldc), 0.f);
+  if (gc.accumulate) c0 = rand_vec(rng, m * ldc);
+
+  std::vector<float> ca = c0, cb = c0;
+  ref.gemm(ca.data(), ldc, a.data(), lda, gc.a_trans, b.data(), ldb, 0, m,
+           n, k);
+  kt.gemm(cb.data(), ldc, a.data(), lda, gc.a_trans, b.data(), ldb, 0, m,
+          n, k);
+
+  const double eps = std::numeric_limits<float>::epsilon();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      // Forward-error bound: each side's |err| ≤ γ_{k+2}·Σ_p|a_ip·b_pj|
+      // (+1 rounding for the accumulate preload).
+      double mag = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = gc.a_trans ? a[static_cast<size_t>(p * lda + i)]
+                                    : a[static_cast<size_t>(i * lda + p)];
+        const float bv = b[static_cast<size_t>(p * ldb + j)];
+        mag += std::fabs(static_cast<double>(av) * bv);
+      }
+      if (gc.accumulate)
+        mag += std::fabs(c0[static_cast<size_t>(i * ldc + j)]);
+      const double tol = 2.0 * static_cast<double>(k + 4) * eps * mag +
+                         std::numeric_limits<float>::min();
+      const float va = ca[static_cast<size_t>(i * ldc + j)];
+      const float vb = cb[static_cast<size_t>(i * ldc + j)];
+      if (!(std::fabs(static_cast<double>(va) - vb) <= tol)) {
+        std::ostringstream os;
+        os << "c[" << i << "][" << j << "] scalar=" << va << " vs " << vb
+           << " (tol " << tol << ")";
+        return os.str();
+      }
+    }
+  }
+  // Row-stride padding and rows outside [0, m) must be untouched.
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = n; j < ldc; ++j)
+      if (cb[static_cast<size_t>(i * ldc + j)] !=
+          c0[static_cast<size_t>(i * ldc + j)]) {
+        std::ostringstream os;
+        os << "pad clobbered at c[" << i << "][" << j << "]";
+        return os.str();
+      }
+  return std::nullopt;
+}
+
+// Greedy shrink: halve each dim while the failure reproduces.
+GemmCase minimize(simd::Level lv, GemmCase gc) {
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int dim = 0; dim < 3; ++dim) {
+      GemmCase cand = gc;
+      int64_t& d = dim == 0 ? cand.m : dim == 1 ? cand.n : cand.k;
+      if (d <= 1) continue;
+      d = d / 2;
+      if (run_gemm_case(lv, cand).has_value()) {
+        gc = cand;
+        improved = true;
+      }
+    }
+  }
+  return gc;
+}
+
+TEST(SimdConformance, GemmBoundedError) {
+  // Odd shapes, primes, tails of both tile widths, 1×N / N×1 degeneracies.
+  const GemmCase shapes[] = {
+      {1, 1, 1, false, false, 0, 11},
+      {1, 17, 3, false, false, 0, 12},
+      {5, 1, 7, false, false, 0, 13},
+      {3, 3, 3, false, true, 0, 14},
+      {7, 13, 5, false, false, 3, 15},
+      {8, 16, 16, false, true, 0, 16},
+      {6, 100, 10, false, false, 1, 17},
+      {17, 33, 9, false, false, 0, 18},
+      {37, 41, 43, false, true, 2, 19},
+      {33, 31, 29, false, false, 5, 20},
+      {64, 64, 64, false, false, 0, 21},
+      {13, 48, 7, true, false, 0, 22},
+      {9, 17, 31, true, true, 3, 23},
+      {41, 37, 43, true, false, 1, 24},
+      {1, 1, 97, true, false, 0, 25},
+      {65, 129, 33, true, false, 0, 26},
+  };
+  for (simd::Level lv : vector_levels()) {
+    for (const GemmCase& gc : shapes) {
+      auto fail = run_gemm_case(lv, gc);
+      if (fail) {
+        const GemmCase mc = minimize(lv, gc);
+        auto mfail = run_gemm_case(lv, mc);
+        FAIL() << "gemm mismatch at level " << simd::level_name(lv)
+               << ": minimized shape m=" << mc.m << " n=" << mc.n
+               << " k=" << mc.k << " a_trans=" << mc.a_trans
+               << " accumulate=" << mc.accumulate << " pad=" << mc.pad
+               << " seed=" << mc.seed << ": "
+               << (mfail ? *mfail : *fail);
+      }
+    }
+  }
+}
+
+// Partial bands must compose: running the row range in two chunks must give
+// the same bits as one call (this is what the threadpool partition does).
+TEST(SimdConformance, GemmBandComposition) {
+  Rng rng(0xbadd5eedu);
+  const int64_t m = 23, n = 37, k = 19;
+  const std::vector<float> a = rand_vec(rng, m * k);
+  const std::vector<float> b = rand_vec(rng, k * n);
+  for (simd::Level lv : simd::available_levels()) {
+    const simd::KernelTable& kt = simd::table(lv);
+    std::vector<float> whole(static_cast<size_t>(m * n), 0.f);
+    kt.gemm(whole.data(), n, a.data(), k, false, b.data(), n, 0, m, n, k);
+    for (int64_t split : {int64_t{1}, int64_t{6}, int64_t{8}, int64_t{22}}) {
+      std::vector<float> parts(static_cast<size_t>(m * n), 0.f);
+      kt.gemm(parts.data(), n, a.data(), k, false, b.data(), n, 0, split, n,
+              k);
+      kt.gemm(parts.data(), n, a.data(), k, false, b.data(), n, split, m, n,
+              k);
+      ASSERT_EQ(std::memcmp(whole.data(), parts.data(), whole.size() * 4), 0)
+          << "band split at " << split << " level " << simd::level_name(lv);
+    }
+  }
+}
+
+}  // namespace

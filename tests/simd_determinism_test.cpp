@@ -1,0 +1,211 @@
+// Determinism contract of the SIMD dispatch layer (tensor/simd/simd.h):
+// for a FIXED dispatch level, every kernel — and every training trajectory
+// built on them — is bit-identical across thread counts and across repeated
+// runs. The thread sweep uses core::set_thread_count, the programmatic
+// equivalent of APOLLO_THREADS=1/2/4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/threadpool.h"
+#include "data/corpus.h"
+#include "nn/llama.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/simd/simd.h"
+#include "train/checkpoint.h"
+#include "train/trainer.h"
+
+namespace apollo {
+namespace {
+
+namespace simd = apollo::simd;
+
+struct LevelGuard {
+  explicit LevelGuard(simd::Level lv) { EXPECT_TRUE(simd::set_level(lv)); }
+  ~LevelGuard() { simd::clear_level_override(); }
+};
+
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int n) { core::set_thread_count(n); }
+  ~ThreadCountGuard() { core::set_thread_count(0); }
+};
+
+Matrix random_matrix(int64_t r, int64_t c, uint64_t seed) {
+  Matrix m(r, c);
+  Rng rng(seed);
+  m.fill_gaussian(rng, 0.f, 1.f);
+  return m;
+}
+
+// Fingerprint of one pass over the kernel-facing ops: matmuls in all three
+// transpose modes, elementwise updates, and reductions. Bit-for-bit
+// comparable via Matrix::operator== and exact double equality.
+struct OpsFingerprint {
+  Matrix mm, mat, mbt;
+  Matrix elem;
+  double fro = 0, total = 0;
+  std::vector<float> rnorms;
+
+  bool operator==(const OpsFingerprint& o) const {
+    return mm == o.mm && mat == o.mat && mbt == o.mbt && elem == o.elem &&
+           fro == o.fro && total == o.total && rnorms == o.rnorms;
+  }
+};
+
+OpsFingerprint run_ops() {
+  // Odd sizes: force tail lanes and partial register tiles.
+  const Matrix a = random_matrix(37, 29, 1);
+  const Matrix b = random_matrix(29, 53, 2);
+  const Matrix at = random_matrix(29, 37, 3);  // for Aᵀ·B
+  const Matrix bt = random_matrix(53, 29, 4);  // for A·Bᵀ
+  OpsFingerprint fp;
+  fp.mm = matmul(a, b);
+  fp.mat = matmul_at(at, b);
+  fp.mbt = matmul_bt(a, bt);
+  fp.elem = random_matrix(41, 17, 5);
+  const Matrix x = random_matrix(41, 17, 6);
+  axpy(fp.elem, 0.37f, x);
+  hadamard_inplace(fp.elem, x);
+  scale_inplace(fp.elem, 1.01f);
+  fp.fro = frobenius_norm(fp.mm);
+  fp.total = sum(fp.mat);
+  fp.rnorms = row_norms(fp.mbt);
+  return fp;
+}
+
+TEST(SimdDeterminism, KernelsBitIdenticalAcrossThreadsAndRuns) {
+  for (simd::Level lv : simd::available_levels()) {
+    LevelGuard level(lv);
+    OpsFingerprint base;
+    {
+      ThreadCountGuard threads(1);
+      base = run_ops();
+      // Repeated run, same thread count: identical.
+      EXPECT_TRUE(base == run_ops())
+          << "rerun mismatch at level " << simd::level_name(lv);
+    }
+    for (int t : {2, 4}) {
+      ThreadCountGuard threads(t);
+      EXPECT_TRUE(base == run_ops())
+          << "thread mismatch at level " << simd::level_name(lv)
+          << " threads=" << t;
+    }
+  }
+}
+
+nn::LlamaConfig tiny_config() {
+  nn::LlamaConfig cfg;
+  cfg.vocab = 64;
+  cfg.hidden = 16;
+  cfg.intermediate = 40;
+  cfg.n_heads = 2;
+  cfg.n_layers = 1;
+  cfg.seq_len = 8;
+  return cfg;
+}
+
+// Manual short training loop that records the loss AND grad-norm streams
+// (the Trainer only exposes losses); grad norm uses the same
+// slot-ordered fma reduction as the fused path.
+std::pair<std::vector<float>, std::vector<double>> short_run(int steps) {
+  nn::LlamaModel model(tiny_config(), 11);
+  data::CorpusConfig ccfg;
+  ccfg.vocab = 64;
+  data::SyntheticCorpus corpus(ccfg);
+  data::BatchLoader loader(corpus, 2, 8, 99);
+  core::FactoryOptions fo;
+  fo.rank = 4;
+  fo.seed = 77;
+  auto opt = core::make_optimizer("apollo", fo);
+  opt->set_lr(0.01f);
+
+  std::vector<float> losses;
+  std::vector<double> gnorms;
+  std::vector<int32_t> ids, targets;
+  for (int s = 0; s < steps; ++s) {
+    loader.next(ids, targets);
+    model.zero_grads();
+    ag::Tape tape;
+    ag::Var loss = model.loss(tape, ids, targets);
+    tape.backward(loss);
+    losses.push_back(tape.value(loss)[0]);
+    double acc = 0;
+    for (nn::Parameter* p : model.parameters()) {
+      const double n = frobenius_norm(p->grad);
+      acc = std::fma(n, n, acc);
+    }
+    gnorms.push_back(std::sqrt(acc));
+    nn::ParamList params = model.parameters();
+    opt->begin_step(params);
+    for (size_t i = 0; i < params.size(); ++i)
+      opt->step_param(*params[i], static_cast<int>(i));
+    opt->end_step(params);
+  }
+  return {losses, gnorms};
+}
+
+TEST(SimdDeterminism, LossAndGradNormStreamsBitIdenticalPerLevel) {
+  for (simd::Level lv : simd::available_levels()) {
+    LevelGuard level(lv);
+    const auto run1 = short_run(30);
+    const auto run2 = short_run(30);
+    EXPECT_EQ(run1.first, run2.first)
+        << "loss stream diverged at level " << simd::level_name(lv);
+    EXPECT_EQ(run1.second, run2.second)
+        << "grad-norm stream diverged at level " << simd::level_name(lv);
+    for (float l : run1.first) ASSERT_TRUE(std::isfinite(l));
+  }
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// The ISSUE-6 contract test: a 150-step trajectory at a fixed dispatch
+// level reproduces bit-for-bit — per-step losses, final weights, and the
+// exact checkpoint bytes (weights + optimizer state).
+TEST(SimdDeterminism, TrainingTrajectory150StepsBitIdentical) {
+  const std::string dir = ::testing::TempDir();
+  auto run = [&](const std::string& tag) {
+    nn::LlamaModel model(tiny_config(), 11);
+    data::CorpusConfig ccfg;
+    ccfg.vocab = 64;
+    data::SyntheticCorpus corpus(ccfg);
+    core::FactoryOptions fo;
+    fo.rank = 4;
+    fo.update_freq = 10;
+    fo.seed = 77;
+    auto opt = core::make_optimizer("apollo", fo);
+    train::TrainConfig tc;
+    tc.steps = 150;
+    tc.batch = 2;
+    tc.lr = core::default_lr("apollo");
+    tc.record_step_losses = true;
+    train::Trainer t(model, *opt, corpus, tc);
+    auto result = t.run();
+    const std::string ckpt = dir + "/simd_det_" + tag + ".ckpt";
+    EXPECT_TRUE(train::save_checkpoint(ckpt, model, tc.steps, opt.get()).ok);
+    return std::tuple(result.step_losses, result.final_perplexity,
+                      model.parameters()[1]->value, file_bytes(ckpt));
+  };
+  const auto r1 = run("a");
+  const auto r2 = run("b");
+  EXPECT_EQ(std::get<0>(r1), std::get<0>(r2)) << "step-loss stream diverged";
+  EXPECT_EQ(std::get<1>(r1), std::get<1>(r2));
+  EXPECT_TRUE(std::get<2>(r1) == std::get<2>(r2)) << "final weights diverged";
+  ASSERT_FALSE(std::get<3>(r1).empty());
+  EXPECT_EQ(std::get<3>(r1), std::get<3>(r2)) << "checkpoint bytes diverged";
+}
+
+}  // namespace
+}  // namespace apollo

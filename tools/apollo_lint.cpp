@@ -18,6 +18,11 @@
 //   raw-rng                   rand()/srand()/std::random_device/unseeded
 //                             std::mt19937 outside tensor/rng.* — all
 //                             randomness must be explicitly seeded.
+//   raw-simd-intrinsic        `_mm*` intrinsic calls, `__m128/__m256/__m512/
+//                             __mmask` vector types, or immintrin.h includes
+//                             outside src/tensor/simd/ — all SIMD goes
+//                             through the dispatched simd::KernelTable so
+//                             the scalar fallback stays complete.
 //   unordered-float-accum     float/double accumulation inside a range-for
 //                             over a std::unordered_{map,set} — iteration
 //                             order is unspecified, so the reduction is not
@@ -304,6 +309,7 @@ class Linter {
   void lint(FileText& ft) {
     rule_raw_thread(ft);
     rule_raw_rng(ft);
+    rule_raw_simd_intrinsic(ft);
     rule_unordered_float_accum(ft);
     rule_pragma_once(ft);
     rule_using_namespace_header(ft);
@@ -389,6 +395,46 @@ class Linter {
                    "(tensor/rng.*)");
         }
         break;
+      }
+    }
+  }
+
+  // Raw x86 intrinsics are confined to src/tensor/simd/: every other caller
+  // must go through the dispatched KernelTable (tensor/simd/simd.h) so the
+  // scalar fallback stays complete and the conformance harness covers every
+  // code path that touches vector lanes.
+  void rule_raw_simd_intrinsic(FileText& ft) {
+    if (path_in(ft, "tensor/simd/")) return;
+    // Left-boundary prefix match: `__m256` must also catch `__m256d` /
+    // `__m256i`, and `_mm` catches every `_mm_*`/`_mm256_*`/`_mm512_*` call,
+    // so a word-boundary token search on the right is too strict.
+    auto has_prefix = [](const std::string& l, std::string_view pre) {
+      size_t pos = l.find(pre);
+      while (pos != std::string::npos) {
+        if (pos == 0 || !ident_char(l[pos - 1])) return true;
+        pos = l.find(pre, pos + 1);
+      }
+      return false;
+    };
+    static constexpr std::string_view kHeaders[] = {"immintrin.h",
+                                                    "x86intrin.h"};
+    static constexpr std::string_view kPrefixes[] = {"__m128", "__m256",
+                                                     "__m512", "__mmask",
+                                                     "_mm"};
+    for (size_t i = 0; i < ft.code.size(); ++i) {
+      const std::string& l = ft.code[i];
+      std::string hit;
+      for (std::string_view tok : kHeaders)
+        if (l.find(tok) != std::string::npos) hit = std::string(tok);
+      if (hit.empty())
+        for (std::string_view pre : kPrefixes)
+          if (has_prefix(l, pre)) hit = std::string(pre) + "*";
+      if (!hit.empty()) {
+        emit(ft, static_cast<int>(i + 1), "raw-simd-intrinsic",
+             "raw SIMD intrinsic (" + hit +
+                 ") outside src/tensor/simd/; call through the dispatched "
+                 "simd::KernelTable (tensor/simd/simd.h) so the scalar "
+                 "reference and conformance harness cover this path");
       }
     }
   }
@@ -727,6 +773,8 @@ void print_rules() {
       "OpenMP outside core/threadpool.*\n"
       "raw-rng                   determinism: no rand()/random_device/"
       "unseeded mt19937 outside tensor/rng.*\n"
+      "raw-simd-intrinsic        isolation: no _mm*/__m256/__m512 "
+      "intrinsics outside src/tensor/simd/\n"
       "unordered-float-accum     determinism: no float accumulation over "
       "unordered containers\n"
       "pragma-once               hygiene: headers carry #pragma once\n"
