@@ -7,6 +7,8 @@
 #include <cmath>
 
 #include "autograd/tape.h"
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 #include "tensor/ops.h"
 #include "tensor/simd/simd.h"
 

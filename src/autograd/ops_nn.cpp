@@ -9,6 +9,8 @@
 
 #include "autograd/tape.h"
 #include "core/threadpool.h"
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 #include "tensor/ops.h"
 #include "tensor/simd/simd.h"
 

@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "tensor/check.h"
 #include "tensor/finite.h"
 #include "tensor/ops.h"
 

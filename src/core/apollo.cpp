@@ -1,5 +1,8 @@
 #include "core/apollo.h"
 
+#include "nn/parameter.h"
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 #include "tensor/serialize.h"
 
 #include "core/threadpool.h"

@@ -30,10 +30,12 @@
 #include <vector>
 
 #include "linalg/projection.h"
+#include "nn/parameter.h"
 #include "optim/dense_adam.h"
 #include "optim/galore.h"  // ProjKind
 #include "optim/norm_limiter.h"
 #include "optim/optimizer.h"
+#include "tensor/matrix.h"
 
 namespace apollo::core {
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "nn/parameter.h"
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 #include "tensor/ops.h"
 
 namespace apollo::core {
@@ -57,7 +60,8 @@ void StructuredAdamW::step_param(nn::Parameter& p, int slot) {
     std::vector<float> den =
         cols_are_channels ? col_norms(g) : row_norms(g);
     std::vector<float>& sf = s.last_scaling;
-    sf.resize(num.size());
+    // Sized once per parameter (shape is fixed); no-op after the first step.
+    sf.resize(num.size());  // lint:allow(hot-path-alloc)
     for (size_t j = 0; j < sf.size(); ++j)
       sf[j] = den[j] > 1e-30f ? num[j] / den[j] : 0.f;
     update = g;
@@ -69,7 +73,8 @@ void StructuredAdamW::step_param(nn::Parameter& p, int slot) {
     const double num = frobenius_norm(gtilde);
     const double den = frobenius_norm(g);
     const float sf = den > 1e-30 ? static_cast<float>(num / den) : 0.f;
-    s.last_scaling.assign(1, sf);
+    // One-element diagnostic record; capacity persists across steps.
+    s.last_scaling.assign(1, sf);  // lint:allow(hot-path-alloc)
     update = g;
     scale_inplace(update, sf);
   }

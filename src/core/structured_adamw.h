@@ -16,8 +16,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nn/parameter.h"
 #include "optim/norm_limiter.h"
 #include "optim/optimizer.h"
+#include "tensor/matrix.h"
 
 namespace apollo::core {
 

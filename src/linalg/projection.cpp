@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/check.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
 

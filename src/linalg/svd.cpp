@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "obs/trace.h"
+#include "tensor/check.h"
 #include "tensor/ops.h"
 
 namespace apollo {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 #include "tensor/simd/simd.h"
 
 namespace apollo::nn {

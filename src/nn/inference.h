@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "nn/llama.h"
+#include "tensor/matrix.h"
 
 namespace apollo::nn {
 

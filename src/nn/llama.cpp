@@ -1,4 +1,6 @@
 #include "nn/llama.h"
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 
 #include <cmath>
 

@@ -10,6 +10,7 @@
 
 #include "autograd/tape.h"
 #include "nn/parameter.h"
+#include "tensor/matrix.h"
 #include "tensor/rng.h"
 
 namespace apollo::nn {

@@ -5,6 +5,8 @@
 
 #include "autograd/tape.h"
 #include "nn/inference.h"
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 #include "tensor/rng.h"
 
 namespace apollo::nn {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/threadpool.h"
+#include "nn/parameter.h"
+#include "tensor/check.h"
 #include "tensor/ops.h"
 
 namespace apollo::optim {
@@ -44,8 +46,10 @@ void Adafactor::update_matrix(nn::Parameter* p, State& s, float beta2t) {
   APOLLO_CHECK_GT(m, 1);
   APOLLO_CHECK_GT(n, 1);
   if (s.vrow.empty()) {
-    s.vrow.assign(static_cast<size_t>(m), 0.f);
-    s.vcol.assign(static_cast<size_t>(n), 0.f);
+    // Lazy first-step state init: factored second moments are sized to the
+    // parameter once and reused for the rest of training.
+    s.vrow.assign(static_cast<size_t>(m), 0.f);  // lint:allow(hot-path-alloc)
+    s.vcol.assign(static_cast<size_t>(n), 0.f);  // lint:allow(hot-path-alloc)
   }
 
   // Factored second-moment EMA: row/column means of G² + ε₁. Row statistics

@@ -15,6 +15,7 @@
 #include <cmath>
 #include <vector>
 
+#include "nn/parameter.h"
 #include "optim/optimizer.h"
 #include "tensor/matrix.h"
 

@@ -8,8 +8,11 @@
 #include <memory>
 #include <vector>
 
+#include "nn/parameter.h"
 #include "optim/optimizer.h"
 #include "quant/quant.h"
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 
 namespace apollo::optim {
 
@@ -29,8 +32,11 @@ class Adam8bit : public Optimizer {
     State& s = states_[static_cast<size_t>(slot)];
     const Matrix& g = p.grad;
     if (!s.m) {
-      s.m = std::make_unique<BlockQuantized>(g.rows(), g.cols(), true);
-      s.v = std::make_unique<BlockQuantized>(g.rows(), g.cols(), false);
+      // Lazy first-step state init, sized to the parameter once.
+      s.m = std::make_unique<BlockQuantized>(  // lint:allow(hot-path-alloc)
+          g.rows(), g.cols(), true);
+      s.v = std::make_unique<BlockQuantized>(  // lint:allow(hot-path-alloc)
+          g.rows(), g.cols(), false);
     }
     Matrix m = s.m->load();
     Matrix v = s.v->load();

@@ -11,7 +11,9 @@
 #include <cmath>
 #include <vector>
 
+#include "nn/parameter.h"
 #include "optim/optimizer.h"
+#include "tensor/check.h"
 #include "tensor/matrix.h"
 
 namespace apollo::optim {
@@ -33,8 +35,9 @@ class AdamMini : public Optimizer {
     const Matrix& g = p.grad;
     const int64_t rows = g.rows(), cols = g.cols();
     if (s.m.size() == 0) {
+      // Lazy first-step state init, sized to the parameter once.
       s.m.reshape_discard(rows, cols);
-      s.v.assign(static_cast<size_t>(rows), 0.f);
+      s.v.assign(static_cast<size_t>(rows), 0.f);  // lint:allow(hot-path-alloc)
     }
     for (int64_t r = 0; r < rows; ++r) {
       // Block mean of squared gradients for this row.

@@ -1,5 +1,6 @@
 #include "optim/adamw.h"
 
+#include "nn/parameter.h"
 #include "tensor/serialize.h"
 
 namespace apollo::optim {

@@ -1,7 +1,10 @@
 // Full-rank AdamW (Loshchilov & Hutter) — the paper's primary baseline.
 #pragma once
 
+#include "nn/parameter.h"
 #include "optim/dense_adam.h"
+#include "optim/optimizer.h"
+#include "tensor/check.h"
 
 namespace apollo::optim {
 

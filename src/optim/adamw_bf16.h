@@ -9,8 +9,11 @@
 #include <memory>
 #include <vector>
 
+#include "nn/parameter.h"
 #include "optim/optimizer.h"
 #include "quant/bf16.h"
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 
 namespace apollo::optim {
 
@@ -30,8 +33,11 @@ class AdamWBf16 : public Optimizer {
     State& s = states_[static_cast<size_t>(slot)];
     const Matrix& g = p.grad;
     if (!s.m) {
-      s.m = std::make_unique<Bf16Buffer>(g.rows(), g.cols());
-      s.v = std::make_unique<Bf16Buffer>(g.rows(), g.cols());
+      // Lazy first-step state init, sized to the parameter once.
+      s.m = std::make_unique<Bf16Buffer>(  // lint:allow(hot-path-alloc)
+          g.rows(), g.cols());
+      s.v = std::make_unique<Bf16Buffer>(  // lint:allow(hot-path-alloc)
+          g.rows(), g.cols());
     }
     Matrix m = s.m->load();
     Matrix v = s.v->load();

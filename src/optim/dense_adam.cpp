@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/threadpool.h"
+#include "tensor/check.h"
 #include "tensor/serialize.h"
 
 namespace apollo::optim {
@@ -13,7 +14,9 @@ void DenseAdamCore::update(int64_t slot, Matrix& value,
   APOLLO_CHECK_GE(t, 1);
   APOLLO_CHECK_GE(slot, 0);
   if (slot >= static_cast<int64_t>(states_.size()))
-    states_.resize(static_cast<size_t>(slot) + 1);
+    // Grows to the highest slot during the first pass over the parameters,
+    // then stays put — steady-state steps never hit this branch.
+    states_.resize(static_cast<size_t>(slot) + 1);  // lint:allow(hot-path-alloc)
   State& s = states_[static_cast<size_t>(slot)];
   if (s.m.size() == 0) {
     s.m.reshape_discard(grad.rows(), grad.cols());

@@ -4,9 +4,12 @@
 
 #include "core/threadpool.h"
 #include "linalg/svd.h"
+#include "nn/parameter.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 #include "tensor/ops.h"
 
 namespace apollo::optim {

@@ -20,10 +20,12 @@
 #include <vector>
 
 #include "linalg/projection.h"
+#include "nn/parameter.h"
 #include "optim/dense_adam.h"
 #include "optim/norm_limiter.h"
 #include "optim/optimizer.h"
 #include "quant/quant.h"
+#include "tensor/matrix.h"
 
 namespace apollo::optim {
 

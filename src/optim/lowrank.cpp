@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "linalg/svd.h"
+#include "nn/parameter.h"
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 #include "tensor/ops.h"
 
 namespace apollo::optim {

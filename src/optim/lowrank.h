@@ -17,8 +17,10 @@
 #include <memory>
 #include <vector>
 
+#include "nn/parameter.h"
 #include "optim/dense_adam.h"
 #include "optim/optimizer.h"
+#include "tensor/matrix.h"
 #include "tensor/rng.h"
 
 namespace apollo::optim {

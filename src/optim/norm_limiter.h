@@ -7,6 +7,8 @@
 // projection seed).
 #pragma once
 
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 #include "tensor/ops.h"
 
 namespace apollo::optim {

@@ -4,6 +4,7 @@
 
 #include "obs/trace.h"
 #include "optim/finite_guard.h"
+#include "tensor/check.h"
 
 namespace apollo::optim {
 

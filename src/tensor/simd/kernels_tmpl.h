@@ -283,7 +283,9 @@ struct Kern {
   static void pack_b(std::vector<float>& buf, const float* b, int64_t ldb,
                      int64_t kc, int64_t nc) {
     const int64_t panels = (nc + NR - 1) / NR;
-    buf.resize(static_cast<size_t>(panels * kc * NR));
+    // `buf` is a caller-owned thread-local scratch buffer: resize only grows
+    // it to the largest panel seen, after which this is a no-op.
+    buf.resize(static_cast<size_t>(panels * kc * NR));  // lint:allow(hot-path-alloc)
     for (int64_t pan = 0; pan < panels; ++pan) {
       const int64_t j0 = pan * NR;
       const int64_t w = std::min<int64_t>(NR, nc - j0);
@@ -303,7 +305,8 @@ struct Kern {
   // broadcasts from contiguous memory instead of striding by lda.
   static void pack_at(std::vector<float>& buf, const float* a, int64_t lda,
                       int64_t kc, int64_t mr) {
-    buf.resize(static_cast<size_t>(kc * mr));
+    // Caller-owned thread-local scratch, grown once then reused (see pack_b).
+    buf.resize(static_cast<size_t>(kc * mr));  // lint:allow(hot-path-alloc)
     for (int64_t p = 0; p < kc; ++p) {
       const float* src = a + p * lda;
       float* dst = buf.data() + p * mr;

@@ -1,17 +1,17 @@
 #include "train/checkpoint.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <fcntl.h>
 #include <memory>
+#include <unistd.h>
 #include <vector>
 
 #include "fault/crc32.h"
 #include "fault/fault_injection.h"
+#include "nn/parameter.h"
 #include "obs/trace.h"
 #include "tensor/serialize.h"
 

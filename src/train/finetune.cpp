@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "autograd/tape.h"
+#include "tensor/matrix.h"
+
 namespace apollo::train {
 
 double task_accuracy(nn::LlamaModel& model,

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/tape.h"
+#include "tensor/matrix.h"
 
 namespace apollo::train {
 

@@ -4,7 +4,11 @@
 #include <cmath>
 #include <filesystem>
 
+#include "nn/llama.h"
+#include "nn/parameter.h"
 #include "obs/metrics.h"
+#include "optim/optimizer.h"
+#include "tensor/matrix.h"
 
 namespace apollo::train {
 

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "nn/llama.h"
+#include "optim/optimizer.h"
 #include "train/checkpoint.h"
 
 namespace apollo::train {

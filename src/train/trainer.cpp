@@ -8,11 +8,17 @@
 #include <optional>
 #include <unordered_map>
 
+#include "autograd/tape.h"
+#include "data/token_source.h"
 #include "fault/fault_injection.h"
+#include "nn/parameter.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "tensor/check.h"
+#include "tensor/matrix.h"
 #include "tensor/ops.h"
+#include "train/checkpoint.h"
 #include "train/schedule.h"
 
 namespace apollo::train {

@@ -17,6 +17,7 @@
 
 #include "core/quantized_weights.h"
 #include "data/corpus.h"
+#include "data/token_source.h"
 #include "nn/llama.h"
 #include "optim/optimizer.h"
 #include "train/resilience.h"

@@ -98,7 +98,8 @@ TEST(ThreadPool, NestedParallelForDegradesToSequential) {
   std::vector<int> hits(static_cast<size_t>(n * n), 0);
   core::parallel_for(n, [&](int64_t b, int64_t e) {
     for (int64_t i = b; i < e; ++i) {
-      core::parallel_for(n, [&](int64_t b2, int64_t e2) {
+      // Nesting is the point of this test: it must degrade to sequential.
+      core::parallel_for(n, [&](int64_t b2, int64_t e2) {  // lint:allow(parallel-nested)
         for (int64_t j = b2; j < e2; ++j)
           ++hits[static_cast<size_t>(i * n + j)];
       });

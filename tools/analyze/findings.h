@@ -1,0 +1,46 @@
+// Finding model shared by the apollo-analyze passes: a diagnostic with a
+// stable fingerprint (no line numbers, so findings survive unrelated edits),
+// plus the output sinks — human text, JSON, SARIF 2.1.0 — and the
+// baseline-diff machinery that makes CI fail only on *new* findings.
+#pragma once
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace analyze {
+
+struct Finding {
+  std::string rule;     // e.g. "layer-violation"
+  std::string file;     // display path the finding anchors to
+  int line = 0;         // 1-based; 0 when the finding is file-scoped
+  std::string detail;   // stable identity payload (edge, symbol, env var)
+  std::string message;  // human diagnostic
+
+  // Line-independent identity: rule|file|detail. Two findings with the same
+  // fingerprint are the same problem even if the code around them moved.
+  std::string fingerprint() const { return rule + "|" + file + "|" + detail; }
+};
+
+void sort_findings(std::vector<Finding>& findings);
+
+// --- baseline --------------------------------------------------------------
+
+// Loads the fingerprints from a baseline JSON file
+// ({"findings": ["fp", ...]}); returns false and sets `error` on I/O or
+// parse failure. A missing file is NOT an error here — callers decide.
+bool load_baseline(const std::filesystem::path& file,
+                   std::set<std::string>& out, std::string& error);
+
+// Writes the given findings' fingerprints as a baseline file.
+bool write_baseline(const std::filesystem::path& file,
+                    const std::vector<Finding>& findings);
+
+// --- sinks -------------------------------------------------------------
+
+std::string to_json(const std::vector<Finding>& findings,
+                    size_t baselined_count);
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace analyze

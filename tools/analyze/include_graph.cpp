@@ -1,0 +1,131 @@
+#include "analyze/include_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace analyze {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Lexically normalizes `p` and returns it with forward slashes, or an empty
+// string if it escapes the root ("../..").
+std::string normalize(const fs::path& p) {
+  const fs::path norm = p.lexically_normal();
+  const std::string s = norm.generic_string();
+  if (s.rfind("../", 0) == 0 || s == "..") return std::string();
+  return s;
+}
+
+}  // namespace
+
+IncludeGraph build_include_graph(
+    const fs::path& root,
+    const std::map<std::string, srcmodel::SourceFile>& files) {
+  (void)root;  // resolution is purely lexical against the known file set
+  IncludeGraph g;
+
+  // Include roots, in resolution order. "" means repo-root-relative (covers
+  // includes already written as "tensor/..." resolved via -Isrc, and the
+  // tools' own "analyze/..." resolved via -Itools).
+  const std::vector<std::string> include_roots = {"src/", "tools/"};
+
+  for (const auto& [path, sf] : files) {
+    std::vector<IncludeEdge>& out = g.direct[path];
+    const std::vector<srcmodel::Token>& t = sf.tokens;
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+      if (!srcmodel::is_punct(t[i], "#") ||
+          !srcmodel::is_ident(t[i + 1], "include"))
+        continue;
+      const srcmodel::Token& target = t[i + 2];
+      if (target.kind == srcmodel::TokKind::kHeaderName) continue;  // <...>
+      if (target.kind != srcmodel::TokKind::kString) continue;
+      const std::string& inc = target.text;
+      // Relative to the including file's directory first (the way the
+      // preprocessor resolves quoted includes), then the include roots.
+      std::string resolved;
+      const std::string sibling =
+          normalize(fs::path(path).parent_path() / inc);
+      if (!sibling.empty() && files.count(sibling)) {
+        resolved = sibling;
+      } else {
+        for (const std::string& r : include_roots) {
+          const std::string candidate = normalize(fs::path(r) / inc);
+          if (!candidate.empty() && files.count(candidate)) {
+            resolved = candidate;
+            break;
+          }
+        }
+      }
+      if (!resolved.empty() && resolved != path)
+        out.push_back({resolved, target.line});
+    }
+  }
+
+  // Transitive closure by DFS with memoization over the (possibly cyclic)
+  // graph: iterative, cycle-safe, O(V·E) worst case — trivial at repo scale.
+  for (const auto& [path, edges] : g.direct) {
+    (void)edges;
+    std::set<std::string>& seen = g.reachable[path];
+    std::vector<std::string> stack;
+    for (const IncludeEdge& e : g.direct[path]) stack.push_back(e.target);
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      if (!seen.insert(cur).second) continue;
+      auto it = g.direct.find(cur);
+      if (it == g.direct.end()) continue;
+      for (const IncludeEdge& e : it->second)
+        if (!seen.count(e.target)) stack.push_back(e.target);
+    }
+  }
+
+  // Tarjan SCC for cycle reporting.
+  std::map<std::string, int> index, low;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  int counter = 0;
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack[v] = true;
+        auto it = g.direct.find(v);
+        if (it != g.direct.end()) {
+          for (const IncludeEdge& e : it->second) {
+            const std::string& w = e.target;
+            if (!index.count(w)) {
+              strongconnect(w);
+              low[v] = std::min(low[v], low[w]);
+            } else if (on_stack[w]) {
+              low[v] = std::min(low[v], index[w]);
+            }
+          }
+        }
+        if (low[v] == index[v]) {
+          std::vector<std::string> scc;
+          while (true) {
+            const std::string w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          const bool self_loop =
+              scc.size() == 1 && g.includes_directly(scc[0], scc[0]);
+          if (scc.size() > 1 || self_loop) {
+            std::sort(scc.begin(), scc.end());
+            g.cycles.push_back(std::move(scc));
+          }
+        }
+      };
+  for (const auto& [path, edges] : g.direct) {
+    (void)edges;
+    if (!index.count(path)) strongconnect(path);
+  }
+  std::sort(g.cycles.begin(), g.cycles.end());
+  return g;
+}
+
+}  // namespace analyze

@@ -1,0 +1,54 @@
+// Preprocessor-lite include graph over the repo's C++ sources.
+//
+// Quoted includes are resolved the way the build resolves them: relative to
+// the including file's directory first, then against the repo include roots
+// (src/ — the single global include directory — and tools/, which adds
+// itself for args.h / analyze/*). System includes and unresolvable paths
+// are recorded but carry no graph edge.
+//
+// On top of the file-level graph this computes, for every file: the direct
+// include set, the transitive closure, and the strongly-connected components
+// (any SCC with more than one file, or a self-loop, is an include cycle).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/source_model.h"
+
+namespace analyze {
+
+struct IncludeEdge {
+  std::string target;  // resolved display path of the included repo file
+  int line = 0;        // line of the #include directive
+};
+
+struct IncludeGraph {
+  // Keyed by display path (root-relative, forward slashes).
+  std::map<std::string, std::vector<IncludeEdge>> direct;
+  // Transitive closure (does not contain the file itself unless cyclic).
+  std::map<std::string, std::set<std::string>> reachable;
+  // Include cycles: each entry is one SCC of size > 1 (or a self-loop),
+  // sorted; the member files are sorted too.
+  std::vector<std::vector<std::string>> cycles;
+
+  bool includes_directly(const std::string& from,
+                         const std::string& target) const {
+    auto it = direct.find(from);
+    if (it == direct.end()) return false;
+    for (const IncludeEdge& e : it->second)
+      if (e.target == target) return true;
+    return false;
+  }
+};
+
+// Builds the graph for `files` (display path → lexed source). `root` is the
+// repo root used to resolve include paths against the include roots.
+IncludeGraph build_include_graph(
+    const std::filesystem::path& root,
+    const std::map<std::string, srcmodel::SourceFile>& files);
+
+}  // namespace analyze

@@ -1,0 +1,153 @@
+// Concurrency-discipline pass. The repo's contract (src/core/threadpool.h)
+// is a deterministic fixed-partition pool: lambda bodies handed to
+// core::parallel_for must be pure element-range work. This pass walks every
+// parallel_for call, extracts the lambda body's token range, and flags the
+// things that break determinism or scale: blocking synchronization, I/O,
+// getenv, nested parallel_for, and compound-assign accumulation into
+// variables shared across lanes (whose result depends on lane interleaving).
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.h"
+
+namespace analyze {
+
+namespace {
+
+using srcmodel::SourceFile;
+using srcmodel::TokKind;
+using srcmodel::Token;
+
+const std::set<std::string>& mutex_idents() {
+  static const std::set<std::string> kSet = {
+      "mutex",        "timed_mutex",       "recursive_mutex",
+      "shared_mutex", "lock_guard",        "unique_lock",
+      "scoped_lock",  "shared_lock",       "condition_variable",
+      "condition_variable_any"};
+  return kSet;
+}
+
+const std::set<std::string>& io_idents() {
+  static const std::set<std::string> kSet = {
+      "cout",  "cerr",   "clog",     "printf",   "fprintf", "fputs",
+      "puts",  "putchar", "fopen",   "fwrite",   "fread",   "fflush",
+      "fclose", "ofstream", "ifstream", "fstream", "getline"};
+  return kSet;
+}
+
+// Token range (exclusive of the braces) of the first lambda body inside the
+// parallel_for call's argument list [open, close]. Returns false when the
+// call has no lambda literal argument (e.g. a named functor).
+bool lambda_body(const std::vector<Token>& t, size_t open, size_t close,
+                 size_t& body_begin, size_t& body_end) {
+  for (size_t i = open + 1; i < close; ++i) {
+    if (!srcmodel::is_punct(t[i], "[")) continue;
+    const size_t rb = srcmodel::match_forward(t, i);
+    if (rb >= close) return false;
+    // Skip the parameter list / specifiers up to the body's `{`.
+    size_t j = rb + 1;
+    while (j < close && !srcmodel::is_punct(t[j], "{")) {
+      if (srcmodel::is_punct(t[j], "(")) {
+        j = srcmodel::match_forward(t, j);
+        if (j >= close) return false;
+      }
+      ++j;
+    }
+    if (j >= close) return false;
+    const size_t end = srcmodel::match_forward(t, j);
+    if (end >= t.size()) return false;
+    body_begin = j + 1;
+    body_end = end;
+    return true;
+  }
+  return false;
+}
+
+// Is the identifier at `j` declared inside [begin, end)? A declaration is a
+// prior occurrence whose preceding token is a type-ish identifier or a
+// `*`/`&` declarator — covers `double acc`, `const float* gr`, `auto x`.
+bool declared_in_body(const std::vector<Token>& t, size_t begin, size_t end,
+                      const std::string& name) {
+  for (size_t k = begin; k < end; ++k) {
+    if (!srcmodel::is_ident(t[k], name) || k == 0) continue;
+    const Token& prev = t[k - 1];
+    if (prev.kind == TokKind::kIdent || srcmodel::is_punct(prev, "*") ||
+        srcmodel::is_punct(prev, "&"))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void pass_concurrency(const AnalysisContext& ctx, std::vector<Finding>& out) {
+  for (const auto& [path, sf] : ctx.files) {
+    const std::vector<Token>& t = sf.tokens;
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!(t[i].kind == TokKind::kIdent && t[i].text == "parallel_for" &&
+            srcmodel::is_punct(t[i + 1], "(")))
+        continue;
+      const size_t close = srcmodel::match_forward(t, i + 1);
+      if (close >= t.size()) continue;
+      size_t begin = 0, end = 0;
+      if (!lambda_body(t, i + 1, close, begin, end)) continue;
+
+      auto emit = [&](const std::string& rule, int line,
+                      const std::string& detail, const std::string& msg) {
+        if (sf.allowed(line, rule)) return;
+        out.push_back({rule, path, line, detail, msg});
+      };
+
+      for (size_t j = begin; j < end; ++j) {
+        const Token& tok = t[j];
+        if (tok.kind != TokKind::kIdent) continue;
+        if (mutex_idents().count(tok.text)) {
+          emit("parallel-mutex", tok.line, tok.text,
+               "'" + tok.text +
+                   "' inside a parallel_for body: the pool is a deterministic "
+                   "fixed-partition runtime; blocking synchronization "
+                   "serializes lanes and can deadlock under nesting. "
+                   "Restructure so each lane owns a disjoint range");
+        } else if (io_idents().count(tok.text)) {
+          emit("parallel-io", tok.line, tok.text,
+               "I/O ('" + tok.text +
+                   "') inside a parallel_for body interleaves "
+                   "nondeterministically across lanes; buffer per lane and "
+                   "emit after the join instead");
+        } else if (tok.text == "getenv" || tok.text == "secure_getenv") {
+          emit("parallel-getenv", tok.line, tok.text,
+               "getenv inside a parallel_for body: getenv is not guaranteed "
+               "thread-safe against setenv and is a hidden global read on "
+               "the hot path; read the variable once outside the region");
+        } else if (tok.text == "parallel_for" && j + 1 < end &&
+                   srcmodel::is_punct(t[j + 1], "(")) {
+          emit("parallel-nested", tok.line, "nested",
+               "nested parallel_for: the inner call degrades to sequential "
+               "by design (see threadpool.h); hoist the nesting or flatten "
+               "the iteration space");
+        } else if (j + 1 < end &&
+                   (srcmodel::is_punct(t[j + 1], "+=") ||
+                    srcmodel::is_punct(t[j + 1], "-="))) {
+          // Plain-identifier compound assignment: skip member/indexed/deref
+          // targets (lane-disjoint by construction) and body-locals.
+          const Token& prev = t[j - 1];
+          if (srcmodel::is_punct(prev, ".") || srcmodel::is_punct(prev, "->") ||
+              srcmodel::is_punct(prev, "::") || srcmodel::is_punct(prev, "*") ||
+              srcmodel::is_punct(prev, "]"))
+            continue;
+          if (declared_in_body(t, begin, end, tok.text)) continue;
+          emit("parallel-unordered-accum", tok.line, tok.text,
+               "'" + tok.text + " " + t[j + 1].text +
+                   "' accumulates into a variable shared across parallel_for "
+                   "lanes: a data race, and even with atomics the float "
+                   "result depends on lane order. Accumulate per lane and "
+                   "reduce deterministically after the join");
+        }
+      }
+      i = close;  // resume after this call; inner calls were handled above
+    }
+  }
+}
+
+}  // namespace analyze

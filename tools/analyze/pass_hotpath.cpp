@@ -1,0 +1,273 @@
+// Hot-path allocation pass: a name-matched call-graph-lite.
+//
+// Hot roots are the places the training loop hits every step:
+//   - every `step_param` definition (the per-parameter optimizer update),
+//   - every function defined under src/tensor/simd/ (the kernel layer),
+//   - every autograd backward closure (`n.backward = [...](Tape&) {...}`
+//     bodies in src/autograd/ — extracted as synthetic functions so the
+//     enclosing forward op is NOT implicitly hot).
+//
+// From those roots we BFS over name-matched call edges (identifier followed
+// by `(` that resolves to a function *defined* in the scanned tree) and flag
+// allocation sites in every reachable body: `new`, the malloc family,
+// make_unique/make_shared, and container-growth member calls (push_back,
+// resize, reserve, ...). Constructor temporaries are deliberately NOT
+// flagged — `Matrix tmp(r, c)` is visible in the signature of the code and
+// is the optimizer's documented working set; the rule targets the quieter
+// ways steady-state work acquires memory.
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.h"
+
+namespace analyze {
+
+namespace {
+
+using srcmodel::SourceFile;
+using srcmodel::TokKind;
+using srcmodel::Token;
+
+struct Func {
+  std::string name;
+  std::string file;   // display path
+  int line = 0;       // definition line
+  size_t body_begin = 0, body_end = 0;  // token range, braces excluded
+  bool hot_root = false;
+  std::string root_why;  // e.g. "step_param", "simd kernel", "backward closure"
+};
+
+const std::set<std::string>& keyword_names() {
+  static const std::set<std::string> kSet = {
+      "if",     "for",    "while", "switch", "catch",  "return",
+      "sizeof", "alignof", "do",   "else",   "new",    "delete",
+      "static_assert", "decltype", "noexcept"};
+  return kSet;
+}
+
+const std::set<std::string>& growth_members() {
+  static const std::set<std::string> kSet = {
+      "push_back", "emplace_back", "emplace",       "insert",
+      "resize",    "reserve",      "assign",        "append",
+      "push_front", "emplace_front"};
+  return kSet;
+}
+
+const std::set<std::string>& alloc_calls() {
+  static const std::set<std::string> kSet = {
+      "malloc", "calloc",      "realloc",    "aligned_alloc",
+      "posix_memalign", "strdup", "make_unique", "make_shared"};
+  return kSet;
+}
+
+// Extracts `name(params) [const|noexcept|override|final]* {` definitions.
+void extract_functions(const std::string& path, const SourceFile& sf,
+                       std::vector<Func>& out) {
+  const std::vector<Token>& t = sf.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || !srcmodel::is_punct(t[i + 1], "("))
+      continue;
+    if (keyword_names().count(t[i].text)) continue;
+    if (i > 0 && (srcmodel::is_punct(t[i - 1], ".") ||
+                  srcmodel::is_punct(t[i - 1], "->") ||
+                  srcmodel::is_ident(t[i - 1], "new")))
+      continue;
+    const size_t close = srcmodel::match_forward(t, i + 1);
+    if (close >= t.size()) continue;
+    size_t j = close + 1;
+    while (j < t.size()) {
+      if (srcmodel::is_ident(t[j], "const") ||
+          srcmodel::is_ident(t[j], "override") ||
+          srcmodel::is_ident(t[j], "final")) {
+        ++j;
+      } else if (srcmodel::is_ident(t[j], "noexcept")) {
+        ++j;
+        if (j < t.size() && srcmodel::is_punct(t[j], "(")) {
+          j = srcmodel::match_forward(t, j);
+          if (j >= t.size()) break;
+          ++j;
+        }
+      } else {
+        break;
+      }
+    }
+    if (j >= t.size() || !srcmodel::is_punct(t[j], "{")) continue;
+    const size_t end = srcmodel::match_forward(t, j);
+    if (end >= t.size()) continue;
+    Func f;
+    f.name = t[i].text;
+    f.file = path;
+    f.line = t[i].line;
+    f.body_begin = j + 1;
+    f.body_end = end;
+    out.push_back(std::move(f));
+  }
+}
+
+// Extracts `backward = [caps](params) { ... }` closure bodies (autograd op
+// registration) as synthetic hot functions.
+void extract_backward_closures(const std::string& path, const SourceFile& sf,
+                               std::vector<Func>& out) {
+  const std::vector<Token>& t = sf.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(srcmodel::is_ident(t[i], "backward") &&
+          srcmodel::is_punct(t[i + 1], "=") &&
+          srcmodel::is_punct(t[i + 2], "[")))
+      continue;
+    const size_t rb = srcmodel::match_forward(t, i + 2);
+    if (rb >= t.size()) continue;
+    size_t j = rb + 1;
+    while (j < t.size() && !srcmodel::is_punct(t[j], "{")) {
+      if (srcmodel::is_punct(t[j], "(")) {
+        j = srcmodel::match_forward(t, j);
+        if (j >= t.size()) break;
+      }
+      if (srcmodel::is_punct(t[j], ";")) { j = t.size(); break; }
+      ++j;
+    }
+    if (j >= t.size()) continue;
+    const size_t end = srcmodel::match_forward(t, j);
+    if (end >= t.size()) continue;
+    Func f;
+    f.name = "backward closure at " + path + ":" + std::to_string(t[i].line);
+    f.file = path;
+    f.line = t[i].line;
+    f.body_begin = j + 1;
+    f.body_end = end;
+    f.hot_root = true;
+    f.root_why = "autograd backward closure";
+    out.push_back(std::move(f));
+  }
+}
+
+}  // namespace
+
+void pass_hotpath(const AnalysisContext& ctx, std::vector<Finding>& out) {
+  // --- build the function set ------------------------------------------------
+  std::vector<Func> funcs;
+  for (const auto& [path, sf] : ctx.files) {
+    extract_functions(path, sf, funcs);
+    if (path.rfind("src/autograd/", 0) == 0)
+      extract_backward_closures(path, sf, funcs);
+  }
+  for (Func& f : funcs) {
+    if (f.hot_root) continue;
+    if (f.name == "step_param") {
+      f.hot_root = true;
+      f.root_why = "step_param (per-parameter optimizer update)";
+    } else if (f.file.rfind("src/tensor/simd/", 0) == 0) {
+      f.hot_root = true;
+      f.root_why = "SIMD kernel (src/tensor/simd/)";
+    }
+  }
+
+  // Backward-closure token ranges per file: excluded when scanning an
+  // enclosing function, so forward-op bodies are not implicitly hot.
+  std::map<std::string, std::vector<std::pair<size_t, size_t>>> closure_ranges;
+  for (const Func& f : funcs)
+    if (f.root_why == "autograd backward closure")
+      closure_ranges[f.file].push_back({f.body_begin, f.body_end});
+
+  std::map<std::string, std::vector<size_t>> by_name;
+  for (size_t i = 0; i < funcs.size(); ++i)
+    by_name[funcs[i].name].push_back(i);
+
+  auto in_excluded = [&](const Func& f, size_t tok) {
+    if (f.root_why == "autograd backward closure") return false;
+    auto it = closure_ranges.find(f.file);
+    if (it == closure_ranges.end()) return false;
+    for (const auto& [b, e] : it->second)
+      // Only ranges strictly inside this function are exclusions.
+      if (b > f.body_begin && e < f.body_end && tok >= b && tok < e)
+        return true;
+    return false;
+  };
+
+  // --- name-matched call edges ------------------------------------------------
+  std::vector<std::vector<size_t>> edges(funcs.size());
+  for (size_t fi = 0; fi < funcs.size(); ++fi) {
+    const Func& f = funcs[fi];
+    const std::vector<Token>& t = ctx.files.at(f.file).tokens;
+    for (size_t j = f.body_begin; j < f.body_end; ++j) {
+      if (in_excluded(f, j)) continue;
+      const Token& tok = t[j];
+      if (tok.kind != TokKind::kIdent || tok.text.size() < 3) continue;
+      if (!(tok.text[0] >= 'a' && tok.text[0] <= 'z')) continue;
+      if (j + 1 >= f.body_end || !srcmodel::is_punct(t[j + 1], "(")) continue;
+      // No edge through parallel_for: the lambda body is already scanned
+      // inline as part of this function, and traversing into the pool
+      // implementation would leak its dispatch machinery into every chain.
+      if (tok.text == "parallel_for") continue;
+      auto it = by_name.find(tok.text);
+      if (it == by_name.end()) continue;
+      // Only unambiguous names carry an edge — a name defined more than
+      // once (e.g. `run`, defined by both the pool and the Trainer) would
+      // fuse unrelated call graphs and mark the whole program hot.
+      if (it->second.size() != 1) continue;
+      const size_t callee = it->second.front();
+      if (callee != fi) edges[fi].push_back(callee);
+    }
+  }
+
+  // --- BFS from hot roots, keeping a representative chain for the message ----
+  std::vector<std::string> chain(funcs.size());
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < funcs.size(); ++i) {
+    if (funcs[i].hot_root) {
+      chain[i] = funcs[i].name;
+      queue.push_back(i);
+    }
+  }
+  std::set<size_t> visited(queue.begin(), queue.end());
+  while (!queue.empty()) {
+    const size_t cur = queue.front();
+    queue.pop_front();
+    for (size_t next : edges[cur]) {
+      if (!visited.insert(next).second) continue;
+      chain[next] = chain[cur] + " -> " + funcs[next].name;
+      queue.push_back(next);
+    }
+  }
+
+  // --- allocation scan over every hot-reachable body ---------------------------
+  for (size_t fi : visited) {
+    const Func& f = funcs[fi];
+    const SourceFile& sf = ctx.files.at(f.file);
+    const std::vector<Token>& t = sf.tokens;
+    const std::string why =
+        f.hot_root ? "a hot root (" + f.root_why + ")"
+                   : "reachable from a hot root via " + chain[fi];
+    for (size_t j = f.body_begin; j < f.body_end; ++j) {
+      if (in_excluded(f, j)) continue;
+      const Token& tok = t[j];
+      if (tok.kind != TokKind::kIdent) continue;
+      std::string what;
+      if (tok.text == "new" &&
+          !(j > 0 && srcmodel::is_punct(t[j - 1], "::"))) {
+        what = "operator new";
+      } else if (alloc_calls().count(tok.text) && j + 1 < f.body_end &&
+                 (srcmodel::is_punct(t[j + 1], "(") ||
+                  srcmodel::is_punct(t[j + 1], "<"))) {
+        what = tok.text + "()";
+      } else if (growth_members().count(tok.text) && j > 0 &&
+                 (srcmodel::is_punct(t[j - 1], ".") ||
+                  srcmodel::is_punct(t[j - 1], "->")) &&
+                 j + 1 < f.body_end && srcmodel::is_punct(t[j + 1], "(")) {
+        what = "container growth (." + tok.text + ")";
+      }
+      if (what.empty()) continue;
+      if (sf.allowed(tok.line, "hot-path-alloc")) continue;
+      out.push_back(
+          {"hot-path-alloc", f.file, tok.line, f.name + "|" + tok.text,
+           what + " in '" + f.name + "', which is " + why +
+               " — steady-state training work should not allocate; "
+               "preallocate in begin_step/setup or annotate the intentional "
+               "lazy-init with lint:allow(hot-path-alloc)"});
+    }
+  }
+}
+
+}  // namespace analyze

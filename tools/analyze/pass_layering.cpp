@@ -1,0 +1,184 @@
+// Layering pass: module-DAG conformance against the checked-in policy,
+// include-cycle detection, and "used but only transitively included"
+// header hygiene.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.h"
+
+namespace analyze {
+
+namespace {
+
+using srcmodel::SourceFile;
+using srcmodel::TokKind;
+using srcmodel::Token;
+
+// A "marker" is a symbol a header exports whose use implies a direct
+// include: class/struct/enum-class definitions, object-like/function-like
+// macros, and top-level alias declarations. Heuristic gates keep it sound
+// in practice: names shorter than 4 chars are skipped, and a name declared
+// by more than one header resolves to no marker at all.
+struct Marker {
+  std::string header;  // display path of the declaring header
+};
+
+std::map<std::string, Marker> collect_markers(
+    const std::map<std::string, SourceFile>& files) {
+  std::map<std::string, int> def_count;
+  std::map<std::string, Marker> markers;
+  for (const auto& [path, sf] : files) {
+    if (!sf.is_header || path.rfind("src/", 0) != 0) continue;
+    const std::vector<Token>& t = sf.tokens;
+    auto add = [&](const std::string& name) {
+      if (name.size() < 4) return;
+      if (++def_count[name] == 1) markers[name] = {path};
+    };
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      // class/struct/enum-class definitions (not forward declarations).
+      if ((srcmodel::is_ident(t[i], "class") ||
+           srcmodel::is_ident(t[i], "struct")) &&
+          t[i + 1].kind == TokKind::kIdent) {
+        size_t j = i + 2;
+        if (j < t.size() && srcmodel::is_ident(t[j], "final")) ++j;
+        if (j < t.size() && (srcmodel::is_punct(t[j], "{") ||
+                             srcmodel::is_punct(t[j], ":")))
+          add(t[i + 1].text);
+      }
+      if (srcmodel::match_seq(t, i, {"enum", "class"}) && i + 2 < t.size() &&
+          t[i + 2].kind == TokKind::kIdent)
+        add(t[i + 2].text);
+      // Macros.
+      if (srcmodel::match_seq(t, i, {"#", "define"}) && i + 2 < t.size() &&
+          t[i + 2].kind == TokKind::kIdent)
+        add(t[i + 2].text);
+      // Top-level aliases: `using Name = ...`.
+      if (srcmodel::is_ident(t[i], "using") && i + 2 < t.size() &&
+          t[i + 1].kind == TokKind::kIdent && srcmodel::is_punct(t[i + 2], "="))
+        add(t[i + 1].text);
+    }
+  }
+  // Ambiguous names carry no marker.
+  for (auto it = markers.begin(); it != markers.end();) {
+    if (def_count[it->first] > 1)
+      it = markers.erase(it);
+    else
+      ++it;
+  }
+  return markers;
+}
+
+// Does `sf` itself declare `name` (definition, forward declaration, macro,
+// or alias)? Then a use of `name` needs no include at all.
+bool declares_locally(const SourceFile& sf, const std::string& name) {
+  const std::vector<Token>& t = sf.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if ((srcmodel::is_ident(t[i], "class") ||
+         srcmodel::is_ident(t[i], "struct") ||
+         srcmodel::is_ident(t[i], "enum") ||
+         srcmodel::is_ident(t[i], "using")) &&
+        srcmodel::is_ident(t[i + 1], name))
+      return true;
+    if (srcmodel::match_seq(t, i, {"#", "define"}) && i + 2 < t.size() &&
+        srcmodel::is_ident(t[i + 2], name))
+      return true;
+  }
+  return false;
+}
+
+// The sibling header a .cpp may rely on: same stem, .h, same directory.
+std::string own_header(const std::string& path,
+                       const std::map<std::string, SourceFile>& files) {
+  const size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return std::string();
+  const std::string h = path.substr(0, dot) + ".h";
+  return files.count(h) ? h : std::string();
+}
+
+}  // namespace
+
+void pass_layering(const AnalysisContext& ctx, std::vector<Finding>& out) {
+  // --- declared-DAG conformance -------------------------------------------
+  if (ctx.policy.loaded) {
+    std::set<std::string> undeclared_reported;
+    for (const auto& [path, sf] : ctx.files) {
+      const std::string from_mod = ctx.policy.module_of(path);
+      if (!ctx.policy.declared(from_mod)) {
+        if (undeclared_reported.insert(from_mod).second &&
+            !sf.allowed(0, "layer-undeclared")) {
+          out.push_back({"layer-undeclared", path, 1, from_mod,
+                         "module '" + from_mod +
+                             "' is not declared in the layering policy; add "
+                             "it to [layers] with its allowed dependencies"});
+        }
+        continue;
+      }
+      auto it = ctx.graph.direct.find(path);
+      if (it == ctx.graph.direct.end()) continue;
+      for (const IncludeEdge& e : it->second) {
+        const std::string to_mod = ctx.policy.module_of(e.target);
+        if (ctx.policy.edge_allowed(from_mod, to_mod)) continue;
+        if (sf.allowed(e.line, "layer-violation")) continue;
+        out.push_back(
+            {"layer-violation", path, e.line, from_mod + "->" + to_mod,
+             "include of " + e.target + " creates a forbidden layer edge " +
+                 from_mod + " -> " + to_mod +
+                 "; the policy (tools/analyze/layers.toml) does not allow "
+                 "module '" + from_mod + "' to depend on '" + to_mod + "'"});
+      }
+    }
+  }
+
+  // --- include cycles -------------------------------------------------------
+  for (const std::vector<std::string>& cycle : ctx.graph.cycles) {
+    std::string members;
+    for (const std::string& f : cycle)
+      members += (members.empty() ? "" : " <-> ") + f;
+    const auto sf = ctx.files.find(cycle.front());
+    if (sf != ctx.files.end() && sf->second.allowed(0, "include-cycle"))
+      continue;
+    out.push_back({"include-cycle", cycle.front(), 1, members,
+                   "include cycle: " + members +
+                       "; break it with a forward declaration or by moving "
+                       "the shared piece down a layer"});
+  }
+
+  // --- transitive-include hygiene -------------------------------------------
+  // Scoped to src/: library files must spell out what they use so refactors
+  // lower in the stack cannot break them. Harness trees (tests/bench/tools/
+  // examples) lean on umbrella headers like bench/exp_common.h on purpose.
+  const std::map<std::string, Marker> markers = collect_markers(ctx.files);
+  for (const auto& [path, sf] : ctx.files) {
+    if (path.rfind("src/", 0) != 0) continue;
+    auto reach_it = ctx.graph.reachable.find(path);
+    if (reach_it == ctx.graph.reachable.end()) continue;
+    const std::set<std::string>& reach = reach_it->second;
+    const std::string own = own_header(path, ctx.files);
+    std::set<std::string> reported;  // one finding per (file, symbol)
+    for (const Token& tok : sf.tokens) {
+      if (tok.kind != TokKind::kIdent) continue;
+      const auto m = markers.find(tok.text);
+      if (m == markers.end()) continue;
+      const std::string& hdr = m->second.header;
+      if (hdr == path || hdr == own) continue;
+      if (!reach.count(hdr)) continue;  // not ours / truly missing: not this
+                                        // pass's business
+      if (ctx.graph.includes_directly(path, hdr)) continue;
+      // A .cpp may rely on its own header's direct includes.
+      if (!own.empty() && ctx.graph.includes_directly(own, hdr)) continue;
+      if (declares_locally(sf, tok.text)) continue;
+      if (!reported.insert(tok.text).second) continue;
+      if (sf.allowed(tok.line, "transitive-include")) continue;
+      out.push_back(
+          {"transitive-include", path, tok.line, tok.text + "<-" + hdr,
+           "uses '" + tok.text + "' from " + hdr +
+               ", which is only included transitively; include it directly "
+               "(#include \"" + hdr.substr(hdr.rfind("src/", 0) == 0 ? 4 : 0) +
+               "\") so refactors lower in the stack cannot break this file"});
+    }
+  }
+}
+
+}  // namespace analyze

@@ -1,0 +1,119 @@
+#include "analyze/policy.h"
+
+#include <fstream>
+
+namespace analyze {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return std::string();
+  const size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// Extracts the double-quoted strings from a bracketed TOML array body.
+std::vector<std::string> parse_strings(const std::string& body) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while ((pos = body.find('"', pos)) != std::string::npos) {
+    const size_t close = body.find('"', pos + 1);
+    if (close == std::string::npos) break;
+    out.push_back(body.substr(pos + 1, close - pos - 1));
+    pos = close + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Policy::module_of(const std::string& display_path) const {
+  for (const auto& [mod, paths] : module_overrides)
+    for (const std::string& p : paths)
+      if (p == display_path) return mod;
+  const size_t slash = display_path.find('/');
+  std::string top =
+      slash == std::string::npos ? display_path : display_path.substr(0, slash);
+  if (top != "src") return top;
+  const size_t second = display_path.find('/', slash + 1);
+  if (second == std::string::npos) return "src";
+  return display_path.substr(slash + 1, second - slash - 1);
+}
+
+bool Policy::edge_allowed(const std::string& from_module,
+                          const std::string& to_module) const {
+  if (from_module == to_module) return true;
+  auto it = allowed.find(from_module);
+  if (it == allowed.end()) return false;
+  return it->second.count("*") != 0 || it->second.count(to_module) != 0;
+}
+
+bool load_policy(const std::filesystem::path& file, Policy& out,
+                 std::string& error) {
+  std::ifstream in(file);
+  if (!in) {
+    error = "cannot read policy file " + file.string();
+    return false;
+  }
+  out = Policy{};
+  std::string line, section, key, pending;
+  bool in_array = false;
+  int lineno = 0;
+  auto commit = [&](const std::string& k, const std::string& body) {
+    const std::vector<std::string> items = parse_strings(body);
+    if (section == "modules") {
+      out.module_overrides[k] =
+          std::vector<std::string>(items.begin(), items.end());
+    } else if (section == "layers") {
+      out.allowed[k] = std::set<std::string>(items.begin(), items.end());
+    }  // unknown sections are ignored (forward compatibility)
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos && !in_array) line = line.substr(0, hash);
+    std::string t = trim(line);
+    if (t.empty()) continue;
+    if (in_array) {
+      pending += t;
+      if (t.find(']') != std::string::npos) {
+        in_array = false;
+        commit(key, pending);
+      }
+      continue;
+    }
+    if (t.front() == '[' && t.back() == ']' &&
+        t.find('"') == std::string::npos && t.find('=') == std::string::npos) {
+      section = trim(t.substr(1, t.size() - 2));
+      continue;
+    }
+    const size_t eq = t.find('=');
+    if (eq == std::string::npos) {
+      error = file.string() + ":" + std::to_string(lineno) +
+              ": expected `key = [...]`";
+      return false;
+    }
+    key = trim(t.substr(0, eq));
+    const std::string rest = trim(t.substr(eq + 1));
+    if (rest.find('[') == std::string::npos) {
+      error = file.string() + ":" + std::to_string(lineno) +
+              ": value must be a [\"...\"] array";
+      return false;
+    }
+    if (rest.find(']') != std::string::npos) {
+      commit(key, rest);
+    } else {
+      pending = rest;
+      in_array = true;
+    }
+  }
+  if (in_array) {
+    error = file.string() + ": unterminated array for key '" + key + "'";
+    return false;
+  }
+  out.loaded = true;
+  return true;
+}
+
+}  // namespace analyze

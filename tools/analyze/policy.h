@@ -1,0 +1,49 @@
+// Layering policy: which module each file belongs to and which module →
+// module include edges are legal. Loaded from a checked-in TOML-subset file
+// (tools/analyze/layers.toml in this repo); see docs/STATIC_ANALYSIS.md for
+// the format.
+//
+// Module assignment: explicit [modules] overrides win (exact display-path
+// match), then the default — `src/<module>/...` maps to `<module>`, any
+// other top-level directory (tools, tests, bench, examples) maps to itself.
+//
+// The [layers] table declares the DAG: `mod = ["dep1", "dep2"]` lists the
+// modules `mod` may include from (self-edges are always legal); the single
+// entry `["*"]` allows everything (used for tools/tests/bench).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace analyze {
+
+struct Policy {
+  // module → exact file paths assigned to it (overrides the path rule).
+  std::map<std::string, std::vector<std::string>> module_overrides;
+  // module → allowed direct dependencies ("*" = anything).
+  std::map<std::string, std::set<std::string>> allowed;
+
+  bool loaded = false;
+
+  // Module for a display path, honoring overrides.
+  std::string module_of(const std::string& display_path) const;
+
+  // Is the edge `from_module → to_module` declared legal?
+  bool edge_allowed(const std::string& from_module,
+                    const std::string& to_module) const;
+
+  bool declared(const std::string& module) const {
+    return allowed.count(module) != 0;
+  }
+};
+
+// Parses the policy file. Returns false (and sets `error`) on I/O or syntax
+// errors; an analyzer run without a policy skips the layering-DAG checks
+// but still reports include cycles.
+bool load_policy(const std::filesystem::path& file, Policy& out,
+                 std::string& error);
+
+}  // namespace analyze

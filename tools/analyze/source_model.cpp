@@ -1,0 +1,397 @@
+#include "analyze/source_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace srcmodel {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Records `lint:allow(...)` / `lint:allow-file(...)` directives found in a
+// comment. Rules may be comma-separated.
+void collect_allows(const std::string& comment, int line, SourceFile& sf) {
+  for (const char* kind : {"lint:allow-file(", "lint:allow("}) {
+    const bool file_scope =
+        std::string_view(kind).find("file") != std::string_view::npos;
+    size_t pos = 0;
+    while ((pos = comment.find(kind, pos)) != std::string::npos) {
+      const size_t open = pos + std::string_view(kind).size();
+      const size_t close = comment.find(')', open);
+      if (close == std::string::npos) break;
+      std::stringstream rules(comment.substr(open, close - open));
+      std::string rule;
+      while (std::getline(rules, rule, ',')) {
+        const size_t b = rule.find_first_not_of(" \t");
+        const size_t e = rule.find_last_not_of(" \t");
+        if (b == std::string::npos) continue;
+        rule = rule.substr(b, e - b + 1);
+        if (file_scope) {
+          sf.file_allows.insert(rule);
+        } else {
+          // Applies to its own line and the next (trailing or preceding
+          // comment style both work).
+          sf.line_allows.insert({line, rule});
+          sf.line_allows.insert({line + 1, rule});
+        }
+      }
+      pos = close;
+    }
+    // Guard against `lint:allow-file` also matching the `lint:allow` pass:
+    if (!file_scope) break;
+  }
+}
+
+// Maximal-munch C++ punctuators, longest first so e.g. "<<=" wins over "<<".
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  ".*"};
+
+}  // namespace
+
+void lex(const std::string& text, SourceFile& sf) {
+  enum class S { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  S st = S::kCode;
+  std::string raw_line, code_line, comment, raw_delim, literal;
+  int line = 1;
+  int literal_line = 1;
+  const size_t n = text.size();
+
+  // Lexer state for the code view: tokens are cut from `code_line` as it is
+  // produced, but literals are emitted whole (they may span lines).
+  auto emit = [&](TokKind kind, std::string tok_text, int tok_line,
+                  bool system = false) {
+    sf.tokens.push_back({kind, std::move(tok_text), tok_line, system});
+  };
+
+  std::string pending;  // current ident/number, not yet emitted
+  bool pending_number = false;
+
+  // After `# include`, the next `<...>` sequence is a header-name, which
+  // does not lex as ordinary tokens. The `include` identifier may still be
+  // sitting in `pending` when the `<` arrives (`#include<x>`).
+  auto expecting_header = [&]() {
+    const size_t sz = sf.tokens.size();
+    if (pending == "include")
+      return sz >= 1 && is_punct(sf.tokens[sz - 1], "#") &&
+             sf.tokens[sz - 1].line == line;
+    return sz >= 2 && is_punct(sf.tokens[sz - 2], "#") &&
+           is_ident(sf.tokens[sz - 1], "include") &&
+           sf.tokens[sz - 1].line == line;
+  };
+
+  // Identifiers and numbers are accumulated in `pending`; punctuation uses
+  // maximal munch over the upcoming raw text.
+  auto flush_pending = [&] {
+    if (pending.empty()) return;
+    emit(pending_number ? TokKind::kNumber : TokKind::kIdent, pending, line);
+    pending.clear();
+    pending_number = false;
+  };
+
+  auto flush_line = [&] {
+    flush_pending();
+    sf.raw.push_back(raw_line);
+    sf.code.push_back(code_line);
+    raw_line.clear();
+    code_line.clear();
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == S::kLine) {
+        collect_allows(comment, line, sf);
+        comment.clear();
+        st = S::kCode;
+      }
+      flush_line();
+      ++line;
+      continue;
+    }
+    raw_line.push_back(c);
+    switch (st) {
+      case S::kCode:
+        if (c == '/' && next == '/') {
+          flush_pending();
+          st = S::kLine;
+          code_line.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          flush_pending();
+          st = S::kBlock;
+          code_line.push_back(' ');
+        } else if (c == '"') {
+          // R"delim( ... )delim" raw strings.
+          const bool raw_prefix =
+              pending == "R" || (pending.size() >= 2 &&
+                                 pending[pending.size() - 1] == 'R' &&
+                                 !ident_char(pending[pending.size() - 2]));
+          if (raw_prefix) pending.clear();  // the R prefix is literal syntax
+          flush_pending();
+          literal.clear();
+          literal_line = line;
+          if (raw_prefix) {
+            st = S::kRaw;
+            raw_delim.clear();
+            size_t j = i + 1;
+            while (j < n && text[j] != '(') raw_delim.push_back(text[j++]);
+            code_line.push_back('"');
+          } else {
+            st = S::kStr;
+            code_line.push_back('"');
+          }
+        } else if (c == '\'') {
+          // Digit separators (1'000) are not char literals.
+          if (pending_number && std::isdigit(static_cast<unsigned char>(next))) {
+            pending.push_back(c);
+            code_line.push_back(c);
+          } else {
+            flush_pending();
+            literal.clear();
+            literal_line = line;
+            st = S::kChar;
+            code_line.push_back('\'');
+          }
+        } else if (ident_char(c)) {
+          if (pending.empty()) pending_number = std::isdigit(
+              static_cast<unsigned char>(c)) != 0;
+          // An identifier cannot start with a digit; `1e5` stays a number.
+          if (pending.empty() && !pending_number && !ident_start(c)) {
+            code_line.push_back(c);
+            break;
+          }
+          pending.push_back(c);
+          code_line.push_back(c);
+        } else if (c == '.' && pending_number) {
+          pending.push_back(c);  // 1.5 stays one number token
+          code_line.push_back(c);
+        } else if ((c == '+' || c == '-') && pending_number &&
+                   !pending.empty() &&
+                   (pending.back() == 'e' || pending.back() == 'E')) {
+          pending.push_back(c);  // 1e-5 exponent sign
+          code_line.push_back(c);
+        } else if (c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+                   c == '\v') {
+          flush_pending();
+          code_line.push_back(c == '\t' ? '\t' : ' ');
+        } else if (c == '<' && expecting_header()) {
+          flush_pending();
+          code_line.push_back(c);
+          std::string hdr;
+          while (i + 1 < n && text[i + 1] != '>' && text[i + 1] != '\n') {
+            ++i;
+            hdr.push_back(text[i]);
+            raw_line.push_back(text[i]);
+            code_line.push_back(text[i]);
+          }
+          if (i + 1 < n && text[i + 1] == '>') {
+            ++i;
+            raw_line.push_back('>');
+            code_line.push_back('>');
+          }
+          emit(TokKind::kHeaderName, hdr, line, /*system=*/true);
+        } else if (c == '\\') {
+          flush_pending();  // line continuation / stray backslash
+          code_line.push_back(' ');
+        } else {
+          flush_pending();
+          code_line.push_back(c);
+          // Maximal-munch punctuator over the raw upcoming text.
+          std::string_view best(&text[i], 1);
+          for (std::string_view p : kPuncts) {
+            if (p.size() > best.size() && i + p.size() <= n &&
+                text.compare(i, p.size(), p) == 0) {
+              // Never munch into a comment opener: "/=" vs "//".
+              if (p[0] == '/' && (next == '/' || next == '*')) continue;
+              best = p;
+            }
+          }
+          for (size_t k = 1; k < best.size(); ++k) {
+            ++i;
+            raw_line.push_back(text[i]);
+            code_line.push_back(text[i]);
+          }
+          emit(TokKind::kPunct, std::string(best), line);
+        }
+        break;
+      case S::kLine:
+        comment.push_back(c);
+        code_line.push_back(' ');
+        break;
+      case S::kBlock:
+        code_line.push_back(' ');
+        if (c == '*' && next == '/') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+          st = S::kCode;
+        }
+        break;
+      case S::kStr:
+        code_line.push_back(' ');
+        if (c == '\\' && i + 1 < n && next != '\n') {
+          literal.push_back(c);
+          literal.push_back(next);
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+        } else if (c == '"') {
+          code_line.back() = '"';
+          emit(TokKind::kString, literal, literal_line);
+          st = S::kCode;
+        } else {
+          literal.push_back(c);
+        }
+        break;
+      case S::kChar:
+        code_line.push_back(' ');
+        if (c == '\\' && i + 1 < n && next != '\n') {
+          literal.push_back(c);
+          literal.push_back(next);
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+        } else if (c == '\'') {
+          code_line.back() = '\'';
+          emit(TokKind::kChar, literal, literal_line);
+          st = S::kCode;
+        } else {
+          literal.push_back(c);
+        }
+        break;
+      case S::kRaw: {
+        code_line.push_back(' ');
+        const std::string closer = ")" + raw_delim + "\"";
+        if (c == ')' && text.compare(i, closer.size(), closer) == 0) {
+          for (size_t k = 1; k < closer.size() && i + 1 < n; ++k) {
+            ++i;
+            raw_line.push_back(text[i]);
+            code_line.push_back(' ');
+          }
+          code_line.back() = '"';
+          emit(TokKind::kString, literal, literal_line);
+          st = S::kCode;
+        } else {
+          literal.push_back(c);
+        }
+        break;
+      }
+    }
+  }
+  if (st == S::kLine) collect_allows(comment, line, sf);
+  flush_line();
+}
+
+bool load_file(const std::filesystem::path& file,
+               const std::string& display_path, SourceFile& out) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = SourceFile{};
+  out.display_path = display_path;
+  const std::string ext = file.extension().string();
+  out.is_header = ext == ".h" || ext == ".hpp";
+  lex(buf.str(), out);
+  return true;
+}
+
+std::vector<std::filesystem::path> collect_sources(
+    const std::filesystem::path& root, const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const std::string& d : dirs) {
+    const fs::path base = root / d;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp" && ext != ".cc" && ext != ".hpp")
+        continue;
+      bool in_build = false;
+      for (const auto& part : fs::relative(entry.path(), root))
+        if (part == "build" || part.string().rfind("build-", 0) == 0)
+          in_build = true;
+      if (in_build) continue;
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+size_t find_token(const std::vector<Token>& toks, TokKind kind,
+                  std::string_view text, size_t from) {
+  for (size_t i = from; i < toks.size(); ++i)
+    if (toks[i].kind == kind && toks[i].text == text) return i;
+  return toks.size();
+}
+
+bool match_seq(const std::vector<Token>& toks, size_t i,
+               std::initializer_list<std::string_view> seq) {
+  if (i + seq.size() > toks.size()) return false;
+  size_t k = i;
+  for (std::string_view s : seq) {
+    const Token& t = toks[k++];
+    // Only code tokens participate: adjacent string literals must never
+    // reassemble into a match.
+    if (t.kind != TokKind::kIdent && t.kind != TokKind::kPunct &&
+        t.kind != TokKind::kNumber)
+      return false;
+    if (t.text != s) return false;
+  }
+  return true;
+}
+
+size_t match_forward(const std::vector<Token>& toks, size_t open) {
+  if (open >= toks.size() || toks[open].kind != TokKind::kPunct)
+    return toks.size();
+  const std::string& oc = toks[open].text;
+  const char* cc = oc == "(" ? ")" : oc == "{" ? "}" : oc == "[" ? "]" : "";
+  if (cc[0] == '\0') return toks.size();
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == oc) ++depth;
+    if (toks[i].text == cc && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+size_t match_angle(const std::vector<Token>& toks, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    if (t == "<<") depth += 2;
+    if (t == ">") {
+      if (--depth == 0) return i;
+    }
+    if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i;
+    }
+    if (t == ";") return toks.size();
+  }
+  return toks.size();
+}
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+}  // namespace srcmodel

@@ -7,6 +7,10 @@
 // corruption hides (projected-moment drift surfaces thousands of steps in),
 // so these are machine-checked rather than left to reviewer vigilance.
 //
+// Rules run over the shared token stream from tools/analyze/source_model.*
+// (the same lexer apollo-analyze uses), so string/comment/raw-string
+// contents can never false-positive and every match is word-boundary exact.
+//
 // Rules (each suppressible with `// lint:allow(rule-id)` on the offending
 // line or the line directly above, or `// lint:allow-file(rule-id)` anywhere
 // in the file):
@@ -49,33 +53,21 @@
 #include <cctype>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <set>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <tuple>
-#include <utility>
 #include <vector>
 
+#include "analyze/source_model.h"
+
 namespace fs = std::filesystem;
+using srcmodel::SourceFile;
+using srcmodel::TokKind;
+using srcmodel::Token;
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// File model
-// ---------------------------------------------------------------------------
-
-struct FileText {
-  std::string display_path;  // root-relative, forward slashes
-  std::vector<std::string> raw;   // original lines
-  std::vector<std::string> code;  // comments + string/char literals blanked
-  // (line, rule) pairs that suppress a diagnostic on that line.
-  std::set<std::pair<int, std::string>> line_allows;
-  std::set<std::string> file_allows;
-  bool is_header = false;
-};
 
 struct Diagnostic {
   std::string file;
@@ -83,220 +75,6 @@ struct Diagnostic {
   std::string rule;
   std::string message;
 };
-
-// Records the `lint:allow(...)`/`lint:allow-file(...)` directives found in a
-// comment. Rules may be comma-separated.
-void collect_allows(const std::string& comment, int line, FileText& ft) {
-  for (const char* kind : {"lint:allow-file(", "lint:allow("}) {
-    const bool file_scope = std::string_view(kind).find("file") !=
-                            std::string_view::npos;
-    size_t pos = 0;
-    while ((pos = comment.find(kind, pos)) != std::string::npos) {
-      const size_t open = pos + std::string_view(kind).size();
-      const size_t close = comment.find(')', open);
-      if (close == std::string::npos) break;
-      std::stringstream rules(comment.substr(open, close - open));
-      std::string rule;
-      while (std::getline(rules, rule, ',')) {
-        const size_t b = rule.find_first_not_of(" \t");
-        const size_t e = rule.find_last_not_of(" \t");
-        if (b == std::string::npos) continue;
-        rule = rule.substr(b, e - b + 1);
-        if (file_scope) {
-          ft.file_allows.insert(rule);
-        } else {
-          // Applies to its own line and the next (trailing or preceding
-          // comment style both work).
-          ft.line_allows.insert({line, rule});
-          ft.line_allows.insert({line + 1, rule});
-        }
-      }
-      pos = close;
-    }
-    // Guard against `lint:allow-file` also matching the `lint:allow` pass:
-    if (!file_scope) break;
-  }
-}
-
-// Splits `text` into lines, producing both the raw view and a "code" view
-// with comments and string/char literals replaced by spaces (newlines kept,
-// so line/column positions survive). Raw-string literals are handled.
-void strip_comments_and_strings(const std::string& text, FileText& ft) {
-  enum class S { kCode, kLine, kBlock, kStr, kChar, kRaw };
-  S st = S::kCode;
-  std::string raw_line, code_line, comment, raw_delim;
-  int line = 1;
-  const size_t n = text.size();
-  auto flush_line = [&] {
-    ft.raw.push_back(raw_line);
-    ft.code.push_back(code_line);
-    raw_line.clear();
-    code_line.clear();
-  };
-  for (size_t i = 0; i < n; ++i) {
-    const char c = text[i];
-    const char next = i + 1 < n ? text[i + 1] : '\0';
-    if (c == '\n') {
-      if (st == S::kLine) {
-        collect_allows(comment, line, ft);
-        comment.clear();
-        st = S::kCode;
-      }
-      flush_line();
-      ++line;
-      continue;
-    }
-    raw_line.push_back(c);
-    switch (st) {
-      case S::kCode:
-        if (c == '/' && next == '/') {
-          st = S::kLine;
-          code_line.push_back(' ');
-        } else if (c == '/' && next == '*') {
-          st = S::kBlock;
-          code_line.push_back(' ');
-        } else if (c == '"') {
-          // R"delim( ... )delim" raw strings.
-          size_t back = code_line.size();
-          if (back > 0 && code_line[back - 1] == 'R' &&
-              (back < 2 || !(std::isalnum(static_cast<unsigned char>(
-                                 code_line[back - 2])) ||
-                             code_line[back - 2] == '_'))) {
-            st = S::kRaw;
-            raw_delim.clear();
-            size_t j = i + 1;
-            while (j < n && text[j] != '(') raw_delim.push_back(text[j++]);
-            code_line.push_back('"');
-          } else {
-            st = S::kStr;
-            code_line.push_back('"');
-          }
-        } else if (c == '\'') {
-          // Digit separators (1'000) are not char literals.
-          const bool sep =
-              !code_line.empty() &&
-              std::isdigit(static_cast<unsigned char>(code_line.back())) &&
-              std::isdigit(static_cast<unsigned char>(next));
-          if (sep) {
-            code_line.push_back(c);
-          } else {
-            st = S::kChar;
-            code_line.push_back('\'');
-          }
-        } else {
-          code_line.push_back(c);
-        }
-        break;
-      case S::kLine:
-        comment.push_back(c);
-        code_line.push_back(' ');
-        break;
-      case S::kBlock:
-        code_line.push_back(' ');
-        if (c == '*' && next == '/') {
-          raw_line.push_back(next);
-          code_line.push_back(' ');
-          ++i;
-          st = S::kCode;
-        }
-        break;
-      case S::kStr:
-        code_line.push_back(' ');
-        if (c == '\\' && i + 1 < n && next != '\n') {
-          raw_line.push_back(next);
-          code_line.push_back(' ');
-          ++i;
-        } else if (c == '"') {
-          code_line.back() = '"';
-          st = S::kCode;
-        }
-        break;
-      case S::kChar:
-        code_line.push_back(' ');
-        if (c == '\\' && i + 1 < n && next != '\n') {
-          raw_line.push_back(next);
-          code_line.push_back(' ');
-          ++i;
-        } else if (c == '\'') {
-          code_line.back() = '\'';
-          st = S::kCode;
-        }
-        break;
-      case S::kRaw: {
-        code_line.push_back(' ');
-        const std::string closer = ")" + raw_delim + "\"";
-        if (c == ')' && text.compare(i, closer.size(), closer) == 0) {
-          for (size_t k = 1; k < closer.size() && i + 1 < n; ++k) {
-            ++i;
-            raw_line.push_back(text[i]);
-            code_line.push_back(' ');
-          }
-          code_line.back() = '"';
-          st = S::kCode;
-        }
-        break;
-      }
-    }
-  }
-  if (st == S::kLine) collect_allows(comment, line, ft);
-  flush_line();
-}
-
-// ---------------------------------------------------------------------------
-// Token helpers (operate on the blanked "code" view)
-// ---------------------------------------------------------------------------
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// Finds `token` in `s` at a word boundary, starting at `from`.
-size_t find_token(const std::string& s, std::string_view token,
-                  size_t from = 0) {
-  size_t pos = from;
-  while ((pos = s.find(token, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
-    const size_t end = pos + token.size();
-    const char last = token.back();
-    const bool right_ok =
-        !ident_char(last) || end >= s.size() || !ident_char(s[end]);
-    if (left_ok && right_ok) return pos;
-    pos += 1;
-  }
-  return std::string::npos;
-}
-
-// Whole-file code text with '\n' separators, plus per-line offsets, for the
-// rules that need to match across line boundaries.
-struct FlatCode {
-  std::string text;
-  std::vector<size_t> line_start;  // offset of each line in `text`
-  explicit FlatCode(const FileText& ft) {
-    for (const std::string& l : ft.code) {
-      line_start.push_back(text.size());
-      text += l;
-      text += '\n';
-    }
-  }
-  int line_of(size_t off) const {
-    const auto it =
-        std::upper_bound(line_start.begin(), line_start.end(), off);
-    return static_cast<int>(it - line_start.begin());
-  }
-};
-
-// Matching close brace/paren for the opener at `open`; npos if unbalanced.
-size_t match_forward(const std::string& s, size_t open) {
-  const char oc = s[open];
-  const char cc = oc == '(' ? ')' : oc == '{' ? '}' : oc == '[' ? ']' : '\0';
-  if (cc == '\0') return std::string::npos;
-  int depth = 0;
-  for (size_t i = open; i < s.size(); ++i) {
-    if (s[i] == oc) ++depth;
-    if (s[i] == cc && --depth == 0) return i;
-  }
-  return std::string::npos;
-}
 
 // ---------------------------------------------------------------------------
 // Rule engine
@@ -306,7 +84,7 @@ class Linter {
  public:
   explicit Linter(std::vector<Diagnostic>* out) : out_(out) {}
 
-  void lint(FileText& ft) {
+  void lint(const SourceFile& ft) {
     rule_raw_thread(ft);
     rule_raw_rng(ft);
     rule_raw_simd_intrinsic(ft);
@@ -319,82 +97,70 @@ class Linter {
   }
 
  private:
-  void emit(const FileText& ft, int line, const std::string& rule,
+  void emit(const SourceFile& ft, int line, const std::string& rule,
             const std::string& message) {
-    if (ft.file_allows.count(rule)) return;
-    if (ft.line_allows.count({line, rule})) return;
+    if (ft.allowed(line, rule)) return;
     out_->push_back({ft.display_path, line, rule, message});
-  }
-
-  static bool path_is(const FileText& ft, std::string_view prefix) {
-    return ft.display_path.rfind(prefix, 0) == 0;
-  }
-  static bool path_in(const FileText& ft, std::string_view needle) {
-    return ft.display_path.find(needle) != std::string::npos;
   }
 
   // --- determinism ---------------------------------------------------------
 
-  void rule_raw_thread(FileText& ft) {
-    if (path_in(ft, "core/threadpool.")) return;
-    static constexpr std::string_view kTokens[] = {
-        "std::thread", "std::jthread", "std::async", "omp.h", "#pragma omp"};
-    for (size_t i = 0; i < ft.code.size(); ++i) {
-      for (std::string_view tok : kTokens) {
-        if (ft.code[i].find(tok) != std::string::npos) {
-          emit(ft, static_cast<int>(i + 1), "raw-thread",
-               "raw threading primitive (" + std::string(tok) +
-                   "); route parallel work through core/threadpool.* so the "
-                   "determinism contract holds for any APOLLO_THREADS");
-          break;
-        }
-      }
+  void rule_raw_thread(const SourceFile& ft) {
+    if (ft.path_contains("core/threadpool.")) return;
+    const std::vector<Token>& t = ft.tokens;
+    int last_line = 0;
+    auto hit = [&](size_t i, std::string_view what) {
+      if (t[i].line == last_line) return;  // one diagnostic per line
+      last_line = t[i].line;
+      emit(ft, t[i].line, "raw-thread",
+           "raw threading primitive (" + std::string(what) +
+               "); route parallel work through core/threadpool.* so the "
+               "determinism contract holds for any APOLLO_THREADS");
+    };
+    for (size_t i = 0; i < t.size(); ++i) {
+      for (std::string_view name : {"thread", "jthread", "async"})
+        if (srcmodel::match_seq(t, i, {"std", "::", name})) hit(i, "std::" + std::string(name));
+      if (t[i].kind == TokKind::kHeaderName && t[i].text == "omp.h")
+        hit(i, "omp.h");
+      if (srcmodel::match_seq(t, i, {"#", "pragma", "omp"}))
+        hit(i, "#pragma omp");
     }
   }
 
-  void rule_raw_rng(FileText& ft) {
-    if (path_in(ft, "tensor/rng.")) return;
-    static constexpr std::string_view kTokens[] = {
-        "rand", "srand", "drand48", "random_device"};
-    for (size_t i = 0; i < ft.code.size(); ++i) {
-      const std::string& l = ft.code[i];
-      for (std::string_view tok : kTokens) {
-        size_t pos = find_token(l, tok);
-        // `rand` / `srand` only count as the C library call: `rand(`.
-        while (pos != std::string::npos && tok != "random_device") {
-          const size_t after = l.find_first_not_of(' ', pos + tok.size());
-          if (after != std::string::npos && l[after] == '(') break;
-          pos = find_token(l, tok, pos + 1);
-        }
-        if (pos != std::string::npos) {
-          emit(ft, static_cast<int>(i + 1), "raw-rng",
-               "non-reproducible randomness (" + std::string(tok) +
-                   "); all randomness must flow through the seeded "
-                   "apollo::Rng (tensor/rng.*)");
-          break;
-        }
+  void rule_raw_rng(const SourceFile& ft) {
+    if (ft.path_contains("tensor/rng.")) return;
+    const std::vector<Token>& t = ft.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string& name = t[i].text;
+      // `rand` / `srand` / `drand48` only count as the C library call.
+      const bool c_call = (name == "rand" || name == "srand" ||
+                           name == "drand48") &&
+                          i + 1 < t.size() && srcmodel::is_punct(t[i + 1], "(");
+      if (c_call || name == "random_device") {
+        emit(ft, t[i].line, "raw-rng",
+             "non-reproducible randomness (" + name +
+                 "); all randomness must flow through the seeded "
+                 "apollo::Rng (tensor/rng.*)");
+        continue;
       }
       // Unseeded std::mt19937 / mt19937_64: engine declared with no ctor
       // argument draws an implementation-defined default seed.
-      for (std::string_view eng : {"mt19937_64", "mt19937"}) {
-        const size_t pos = find_token(l, eng);
-        if (pos == std::string::npos) continue;
-        size_t j = pos + eng.size();
-        while (j < l.size() && (l[j] == ' ' || ident_char(l[j]))) ++j;
+      if (name == "mt19937" || name == "mt19937_64") {
+        size_t j = i + 1;
+        if (j < t.size() && t[j].kind == TokKind::kIdent) ++j;  // var name
         bool seeded = false;
-        if (j < l.size() && (l[j] == '(' || l[j] == '{')) {
-          const size_t close = match_forward(l, j);
-          if (close != std::string::npos &&
-              l.find_first_not_of(' ', j + 1) < close)
-            seeded = true;
+        if (j < t.size() &&
+            (srcmodel::is_punct(t[j], "(") || srcmodel::is_punct(t[j], "{"))) {
+          const size_t close = srcmodel::match_forward(t, j);
+          seeded = close != t.size() && close > j + 1;
         }
         if (!seeded) {
-          emit(ft, static_cast<int>(i + 1), "raw-rng",
-               "unseeded std::" + std::string(eng) +
+          emit(ft, t[i].line, "raw-rng",
+               "unseeded std::" + name +
                    "; seed explicitly, or better use apollo::Rng "
                    "(tensor/rng.*)");
         }
-        break;
       }
     }
   }
@@ -403,360 +169,308 @@ class Linter {
   // must go through the dispatched KernelTable (tensor/simd/simd.h) so the
   // scalar fallback stays complete and the conformance harness covers every
   // code path that touches vector lanes.
-  void rule_raw_simd_intrinsic(FileText& ft) {
-    if (path_in(ft, "tensor/simd/")) return;
-    // Left-boundary prefix match: `__m256` must also catch `__m256d` /
-    // `__m256i`, and `_mm` catches every `_mm_*`/`_mm256_*`/`_mm512_*` call,
-    // so a word-boundary token search on the right is too strict.
-    auto has_prefix = [](const std::string& l, std::string_view pre) {
-      size_t pos = l.find(pre);
-      while (pos != std::string::npos) {
-        if (pos == 0 || !ident_char(l[pos - 1])) return true;
-        pos = l.find(pre, pos + 1);
-      }
-      return false;
-    };
-    static constexpr std::string_view kHeaders[] = {"immintrin.h",
-                                                    "x86intrin.h"};
-    static constexpr std::string_view kPrefixes[] = {"__m128", "__m256",
-                                                     "__m512", "__mmask",
-                                                     "_mm"};
-    for (size_t i = 0; i < ft.code.size(); ++i) {
-      const std::string& l = ft.code[i];
+  void rule_raw_simd_intrinsic(const SourceFile& ft) {
+    if (ft.path_contains("tensor/simd/")) return;
+    const std::vector<Token>& t = ft.tokens;
+    int last_line = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
       std::string hit;
-      for (std::string_view tok : kHeaders)
-        if (l.find(tok) != std::string::npos) hit = std::string(tok);
-      if (hit.empty())
-        for (std::string_view pre : kPrefixes)
-          if (has_prefix(l, pre)) hit = std::string(pre) + "*";
-      if (!hit.empty()) {
-        emit(ft, static_cast<int>(i + 1), "raw-simd-intrinsic",
-             "raw SIMD intrinsic (" + hit +
-                 ") outside src/tensor/simd/; call through the dispatched "
-                 "simd::KernelTable (tensor/simd/simd.h) so the scalar "
-                 "reference and conformance harness cover this path");
-      }
+      if (t[i].kind == TokKind::kHeaderName &&
+          (t[i].text == "immintrin.h" || t[i].text == "x86intrin.h"))
+        hit = t[i].text;
+      if (t[i].kind == TokKind::kIdent)
+        for (std::string_view pre :
+             {"__m128", "__m256", "__m512", "__mmask", "_mm"})
+          if (t[i].text.rfind(pre, 0) == 0) hit = std::string(pre) + "*";
+      if (hit.empty() || t[i].line == last_line) continue;
+      last_line = t[i].line;
+      emit(ft, t[i].line, "raw-simd-intrinsic",
+           "raw SIMD intrinsic (" + hit +
+               ") outside src/tensor/simd/; call through the dispatched "
+               "simd::KernelTable (tensor/simd/simd.h) so the scalar "
+               "reference and conformance harness cover this path");
     }
   }
 
-  void rule_unordered_float_accum(FileText& ft) {
-    const FlatCode flat(ft);
+  void rule_unordered_float_accum(const SourceFile& ft) {
+    const std::vector<Token>& t = ft.tokens;
     // Names of variables declared as unordered containers in this file.
     std::set<std::string> unordered_vars;
-    for (std::string_view kind : {"unordered_map", "unordered_set"}) {
-      size_t pos = 0;
-      while ((pos = find_token(flat.text, kind, pos)) != std::string::npos) {
-        const size_t lt = flat.text.find('<', pos);
-        pos += kind.size();
-        if (lt == std::string::npos) continue;
-        const size_t gt = match_angle(flat.text, lt);
-        if (gt == std::string::npos) continue;
-        // Declared name: first identifier after the closing `>`.
-        size_t j = gt + 1;
-        while (j < flat.text.size() &&
-               (flat.text[j] == ' ' || flat.text[j] == '&' ||
-                flat.text[j] == '\n'))
-          ++j;
-        std::string name;
-        while (j < flat.text.size() && ident_char(flat.text[j]))
-          name.push_back(flat.text[j++]);
-        if (!name.empty()) unordered_vars.insert(name);
-      }
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!srcmodel::is_ident(t[i], "unordered_map") &&
+          !srcmodel::is_ident(t[i], "unordered_set"))
+        continue;
+      if (i + 1 >= t.size() || !srcmodel::is_punct(t[i + 1], "<")) continue;
+      const size_t gt = srcmodel::match_angle(t, i + 1);
+      if (gt == t.size()) continue;
+      // Declared name: first identifier after the closing `>` (skipping
+      // reference qualifiers).
+      size_t j = gt + 1;
+      while (j < t.size() && srcmodel::is_punct(t[j], "&")) ++j;
+      if (j < t.size() && t[j].kind == TokKind::kIdent)
+        unordered_vars.insert(t[j].text);
     }
     if (unordered_vars.empty()) return;
 
     // Range-fors over one of those variables whose body accumulates into a
     // float/double: the reduction order is the container's (unspecified)
     // iteration order.
-    size_t pos = 0;
-    while ((pos = find_token(flat.text, "for", pos)) != std::string::npos) {
-      const size_t head_open = flat.text.find_first_not_of(" \n", pos + 3);
-      pos += 3;
-      if (head_open == std::string::npos || flat.text[head_open] != '(')
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!srcmodel::is_ident(t[i], "for") || i + 1 >= t.size() ||
+          !srcmodel::is_punct(t[i + 1], "("))
         continue;
-      const size_t head_close = match_forward(flat.text, head_open);
-      if (head_close == std::string::npos) continue;
-      const std::string head =
-          flat.text.substr(head_open + 1, head_close - head_open - 1);
-      const size_t colon = head.find(':');
-      if (colon == std::string::npos || head.find(';') != std::string::npos)
-        continue;  // not a range-for
-      std::string range = head.substr(colon + 1);
-      // Strip whitespace and trailing member access (states_.foo → states_).
-      std::string range_var;
-      for (char c : range) {
-        if (c == ' ' || c == '\n') continue;
-        if (!ident_char(c)) break;
-        range_var.push_back(c);
+      const size_t head_open = i + 1;
+      const size_t head_close = srcmodel::match_forward(t, head_open);
+      if (head_close == t.size()) continue;
+      // A range-for head has a top-level `:` and no `;`.
+      size_t colon = t.size();
+      bool classic = false;
+      int depth = 0;
+      for (size_t k = head_open + 1; k < head_close; ++k) {
+        if (t[k].kind != TokKind::kPunct) continue;
+        const std::string& p = t[k].text;
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        if (p == ")" || p == "]" || p == "}") --depth;
+        if (depth != 0) continue;
+        if (p == ";") classic = true;
+        if (p == ":" && colon == t.size()) colon = k;
       }
+      if (classic || colon == t.size()) continue;
+      if (colon + 1 >= head_close || t[colon + 1].kind != TokKind::kIdent)
+        continue;
+      const std::string range_var = t[colon + 1].text;
       if (!unordered_vars.count(range_var)) continue;
       // Loop body: either a braced block or a single statement.
-      size_t body_begin = flat.text.find_first_not_of(" \n", head_close + 1);
-      if (body_begin == std::string::npos) continue;
+      size_t body_begin = head_close + 1;
+      if (body_begin >= t.size()) continue;
       size_t body_end;
-      if (flat.text[body_begin] == '{') {
-        body_end = match_forward(flat.text, body_begin);
-        if (body_end == std::string::npos) continue;
+      if (srcmodel::is_punct(t[body_begin], "{")) {
+        body_end = srcmodel::match_forward(t, body_begin);
+        if (body_end == t.size()) continue;
       } else {
-        body_end = flat.text.find(';', body_begin);
-        if (body_end == std::string::npos) continue;
+        body_end = body_begin;
+        while (body_end < t.size() && !srcmodel::is_punct(t[body_end], ";"))
+          ++body_end;
       }
-      const std::string body =
-          flat.text.substr(body_begin, body_end - body_begin);
       // Accumulation targets: identifiers on the left of += / -= / *=.
-      for (std::string_view acc_op : {"+=", "-=", "*="}) {
-        size_t p = 0;
-        while ((p = body.find(acc_op, p)) != std::string::npos) {
-          // Identifier to the left.
-          size_t e = p;
-          while (e > 0 && body[e - 1] == ' ') --e;
-          size_t b = e;
-          while (b > 0 && ident_char(body[b - 1])) --b;
-          const std::string target = body.substr(b, e - b);
-          p += acc_op.size();
-          if (target.empty()) continue;
-          if (is_float_var(flat.text, target)) {
-            emit(ft, flat.line_of(body_begin + p - acc_op.size()),
-                 "unordered-float-accum",
-                 "float accumulation into '" + target +
-                     "' while iterating std::unordered container '" +
-                     range_var +
-                     "'; iteration order is unspecified, making the "
-                     "reduction non-reproducible — iterate a sorted key "
-                     "list instead");
-          }
+      for (size_t k = body_begin; k < body_end; ++k) {
+        if (t[k].kind != TokKind::kPunct ||
+            (t[k].text != "+=" && t[k].text != "-=" && t[k].text != "*="))
+          continue;
+        if (k == 0 || t[k - 1].kind != TokKind::kIdent) continue;
+        const std::string& target = t[k - 1].text;
+        if (is_float_var(t, target)) {
+          emit(ft, t[k].line, "unordered-float-accum",
+               "float accumulation into '" + target +
+                   "' while iterating std::unordered container '" +
+                   range_var +
+                   "'; iteration order is unspecified, making the "
+                   "reduction non-reproducible — iterate a sorted key "
+                   "list instead");
         }
       }
     }
   }
 
   // `name` declared as float/double somewhere in the file?
-  static bool is_float_var(const std::string& code, const std::string& name) {
-    for (std::string_view ty : {"float", "double"}) {
-      size_t pos = 0;
-      while ((pos = find_token(code, ty, pos)) != std::string::npos) {
-        size_t j = pos + ty.size();
-        pos = j;
-        while (j < code.size() && (code[j] == ' ' || code[j] == '\n')) ++j;
-        size_t e = j;
-        while (e < code.size() && ident_char(code[e])) ++e;
-        if (code.substr(j, e - j) == name) return true;
-      }
-    }
+  static bool is_float_var(const std::vector<Token>& t,
+                           const std::string& name) {
+    for (size_t i = 0; i + 1 < t.size(); ++i)
+      if ((srcmodel::is_ident(t[i], "float") ||
+           srcmodel::is_ident(t[i], "double")) &&
+          srcmodel::is_ident(t[i + 1], name))
+        return true;
     return false;
-  }
-
-  // Matches template angle brackets (no operator< inside a container type).
-  static size_t match_angle(const std::string& s, size_t open) {
-    int depth = 0;
-    for (size_t i = open; i < s.size(); ++i) {
-      if (s[i] == '<') ++depth;
-      if (s[i] == '>' && --depth == 0) return i;
-      if (s[i] == ';') return std::string::npos;
-    }
-    return std::string::npos;
   }
 
   // --- hygiene -------------------------------------------------------------
 
-  void rule_pragma_once(FileText& ft) {
+  void rule_pragma_once(const SourceFile& ft) {
     if (!ft.is_header) return;
-    for (const std::string& l : ft.code)
-      if (l.find("#pragma once") != std::string::npos) return;
+    for (size_t i = 0; i < ft.tokens.size(); ++i)
+      if (srcmodel::match_seq(ft.tokens, i, {"#", "pragma", "once"})) return;
     emit(ft, 1, "pragma-once", "header is missing #pragma once");
   }
 
-  void rule_using_namespace_header(FileText& ft) {
+  void rule_using_namespace_header(const SourceFile& ft) {
     if (!ft.is_header) return;
-    for (size_t i = 0; i < ft.code.size(); ++i) {
-      const size_t pos = find_token(ft.code[i], "using");
-      if (pos == std::string::npos) continue;
-      if (find_token(ft.code[i], "namespace", pos) != std::string::npos) {
-        emit(ft, static_cast<int>(i + 1), "using-namespace-header",
+    const std::vector<Token>& t = ft.tokens;
+    for (size_t i = 0; i + 1 < t.size(); ++i)
+      if (srcmodel::is_ident(t[i], "using") &&
+          srcmodel::is_ident(t[i + 1], "namespace"))
+        emit(ft, t[i].line, "using-namespace-header",
              "`using namespace` in a header leaks into every includer");
-      }
-    }
   }
 
-  void rule_raw_new_delete(FileText& ft) {
-    // Files allowed to manage raw memory (none today; extend deliberately).
-    static constexpr std::string_view kAllowlist[] = {""};
-    for (std::string_view a : kAllowlist)
-      if (!a.empty() && path_in(ft, a)) return;
-    for (size_t i = 0; i < ft.code.size(); ++i) {
-      const std::string& l = ft.code[i];
-      size_t pos = find_token(l, "new");
-      while (pos != std::string::npos) {
-        // `operator new` overloads are declarations, not allocations.
-        const std::string before = l.substr(0, pos);
-        const bool is_operator =
-            before.find("operator") != std::string::npos;
-        const size_t after = l.find_first_not_of(' ', pos + 3);
+  void rule_raw_new_delete(const SourceFile& ft) {
+    const std::vector<Token>& t = ft.tokens;
+    // An `operator` token earlier on the same line means we are looking at
+    // an operator new/delete declaration, not an allocation.
+    auto operator_on_line = [&](size_t i) {
+      for (size_t k = i; k-- > 0 && t[k].line == t[i].line;)
+        if (srcmodel::is_ident(t[k], "operator")) return true;
+      return false;
+    };
+    int last_new_line = 0, last_delete_line = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (srcmodel::is_ident(t[i], "new") && i + 1 < t.size()) {
+        const Token& nxt = t[i + 1];
         const bool allocates =
-            after != std::string::npos &&
-            (ident_char(l[after]) || l[after] == '(' || l[after] == '[');
-        if (!is_operator && allocates) {
-          emit(ft, static_cast<int>(i + 1), "raw-new-delete",
+            nxt.kind == TokKind::kIdent || srcmodel::is_punct(nxt, "(") ||
+            srcmodel::is_punct(nxt, "[") || srcmodel::is_punct(nxt, "::");
+        if (allocates && !operator_on_line(i) &&
+            t[i].line != last_new_line) {
+          last_new_line = t[i].line;
+          emit(ft, t[i].line, "raw-new-delete",
                "raw `new`; use std::vector / std::make_unique so ownership "
                "is explicit");
-          break;
         }
-        pos = find_token(l, "new", pos + 3);
       }
-      pos = find_token(l, "delete");
-      while (pos != std::string::npos) {
-        size_t b = pos;
-        while (b > 0 && l[b - 1] == ' ') --b;
-        const bool deleted_fn = b > 0 && l[b - 1] == '=';
-        const bool is_operator =
-            l.substr(0, pos).find("operator") != std::string::npos;
-        if (!deleted_fn && !is_operator) {
-          emit(ft, static_cast<int>(i + 1), "raw-new-delete",
+      if (srcmodel::is_ident(t[i], "delete")) {
+        const bool deleted_fn = i > 0 && srcmodel::is_punct(t[i - 1], "=");
+        if (!deleted_fn && !operator_on_line(i) &&
+            t[i].line != last_delete_line) {
+          last_delete_line = t[i].line;
+          emit(ft, t[i].line, "raw-new-delete",
                "raw `delete`; use owning containers / smart pointers");
-          break;
         }
-        pos = find_token(l, "delete", pos + 6);
       }
     }
   }
 
-  void rule_printf_float_precision(FileText& ft) {
-    if (!path_is(ft, "src/")) return;
-    static constexpr std::string_view kFns[] = {"printf", "fprintf",
-                                                "snprintf", "sprintf"};
-    for (size_t i = 0; i < ft.raw.size(); ++i) {
-      bool has_call = false;
-      for (std::string_view fn : kFns)
-        if (find_token(ft.code[i], fn) != std::string::npos) has_call = true;
-      if (!has_call) continue;
-      // Scan the raw line's string literals for %-conversions.
-      const std::string& raw = ft.raw[i];
-      bool in_str = false;
-      for (size_t j = 0; j < raw.size(); ++j) {
-        if (raw[j] == '"' && (j == 0 || raw[j - 1] != '\\')) {
-          in_str = !in_str;
-          continue;
-        }
-        if (!in_str || raw[j] != '%') continue;
-        size_t k = j + 1;
-        if (k < raw.size() && raw[k] == '%') {  // literal %%
-          j = k;
-          continue;
-        }
-        bool has_dot = false;
-        while (k < raw.size() &&
-               (std::isdigit(static_cast<unsigned char>(raw[k])) ||
-                raw[k] == '.' || raw[k] == '-' || raw[k] == '+' ||
-                raw[k] == ' ' || raw[k] == '#' || raw[k] == '*' ||
-                raw[k] == 'l' || raw[k] == 'L' || raw[k] == 'h')) {
-          if (raw[k] == '.') has_dot = true;
-          ++k;
-        }
-        if (k < raw.size() && std::strchr("fFeEgG", raw[k]) != nullptr &&
-            !has_dot) {
-          emit(ft, static_cast<int>(i + 1), "printf-float-precision",
-               std::string("float conversion %") + raw[k] +
-                   " without explicit precision; pin it (e.g. %.6g) so "
-                   "output is byte-stable across platforms");
-        }
-        j = k;
+  void rule_printf_float_precision(const SourceFile& ft) {
+    if (!ft.path_starts_with("src/")) return;
+    const std::vector<Token>& t = ft.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string& fn = t[i].text;
+      if (fn != "printf" && fn != "fprintf" && fn != "snprintf" &&
+          fn != "sprintf")
+        continue;
+      if (i + 1 >= t.size() || !srcmodel::is_punct(t[i + 1], "(")) continue;
+      const size_t close = srcmodel::match_forward(t, i + 1);
+      if (close == t.size()) continue;
+      // Scan the call's string-literal arguments for %-conversions. The
+      // token carries the raw literal body, so escapes are intact and
+      // multi-line format strings are covered.
+      for (size_t k = i + 2; k < close; ++k) {
+        if (t[k].kind != TokKind::kString) continue;
+        scan_format(ft, t[k]);
       }
+      i = close;
+    }
+  }
+
+  void scan_format(const SourceFile& ft, const Token& str) {
+    const std::string& s = str.text;
+    for (size_t j = 0; j < s.size(); ++j) {
+      if (s[j] != '%') continue;
+      size_t k = j + 1;
+      if (k < s.size() && s[k] == '%') {  // literal %%
+        j = k;
+        continue;
+      }
+      bool has_dot = false;
+      while (k < s.size() &&
+             (std::isdigit(static_cast<unsigned char>(s[k])) != 0 ||
+              s[k] == '.' || s[k] == '-' || s[k] == '+' || s[k] == ' ' ||
+              s[k] == '#' || s[k] == '*' || s[k] == 'l' || s[k] == 'L' ||
+              s[k] == 'h')) {
+        if (s[k] == '.') has_dot = true;
+        ++k;
+      }
+      if (k < s.size() && std::strchr("fFeEgG", s[k]) != nullptr && !has_dot) {
+        emit(ft, str.line, "printf-float-precision",
+             std::string("float conversion %") + s[k] +
+                 " without explicit precision; pin it (e.g. %.6g) so "
+                 "output is byte-stable across platforms");
+      }
+      j = k;
     }
   }
 
   // --- API contract --------------------------------------------------------
 
-  void rule_check_shape_preconditions(FileText& ft) {
-    if (!path_is(ft, "src/optim/") && !path_is(ft, "src/core/")) return;
-    const FlatCode flat(ft);
-    const std::string& s = flat.text;
+  void rule_check_shape_preconditions(const SourceFile& ft) {
+    if (!ft.path_starts_with("src/optim/") &&
+        !ft.path_starts_with("src/core/"))
+      return;
+    const std::vector<Token>& t = ft.tokens;
 
     // Anonymous-namespace extents (internal helpers are exempt).
     std::vector<std::pair<size_t, size_t>> anon;
-    size_t pos = 0;
-    while ((pos = find_token(s, "namespace", pos)) != std::string::npos) {
-      size_t j = s.find_first_not_of(" \n", pos + 9);
-      pos += 9;
-      if (j == std::string::npos || s[j] != '{') continue;
-      const size_t close = match_forward(s, j);
-      if (close != std::string::npos) anon.emplace_back(j, close);
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!srcmodel::is_ident(t[i], "namespace") ||
+          !srcmodel::is_punct(t[i + 1], "{"))
+        continue;
+      const size_t close = srcmodel::match_forward(t, i + 1);
+      if (close != t.size()) anon.emplace_back(i + 1, close);
     }
-    const auto in_anon = [&](size_t off) {
+    const auto in_anon = [&](size_t idx) {
       for (const auto& [b, e] : anon)
-        if (off > b && off < e) return true;
+        if (idx > b && idx < e) return true;
       return false;
     };
 
     // Find `name(params) [qualifiers] {` definitions.
-    pos = 0;
-    while ((pos = s.find('(', pos)) != std::string::npos) {
-      const size_t open = pos++;
-      // Identifier directly before the `(`.
-      size_t e = open;
-      while (e > 0 && (s[e - 1] == ' ' || s[e - 1] == '\n')) --e;
-      size_t b = e;
-      while (b > 0 && ident_char(s[b - 1])) --b;
-      const std::string name = s.substr(b, e - b);
-      if (name.empty()) continue;
+    for (size_t i = 1; i < t.size(); ++i) {
+      if (!srcmodel::is_punct(t[i], "(")) continue;
+      if (t[i - 1].kind != TokKind::kIdent) continue;
+      const std::string& name = t[i - 1].text;
       static constexpr std::string_view kKeywords[] = {
           "if", "for", "while", "switch", "catch", "return", "sizeof",
           "defined", "do", "assert"};
       bool is_kw = false;
       for (std::string_view k : kKeywords) is_kw |= name == k;
       if (is_kw || name.rfind("APOLLO_", 0) == 0) continue;
-      const size_t close = match_forward(s, open);
-      if (close == std::string::npos) continue;
+      const size_t close = srcmodel::match_forward(t, i);
+      if (close == t.size()) continue;
       // Qualifiers between `)` and `{`: const/noexcept/override/final only.
       size_t q = close + 1;
-      while (q < s.size()) {
-        const size_t t = s.find_first_not_of(" \n", q);
-        if (t == std::string::npos) break;
-        bool advanced = false;
-        for (std::string_view w : {"const", "noexcept", "override", "final"}) {
-          if (s.compare(t, w.size(), w) == 0) {
-            q = t + w.size();
-            advanced = true;
-            break;
-          }
-        }
-        if (!advanced) {
-          q = t;
-          break;
-        }
-      }
-      if (q >= s.size() || s[q] != '{') continue;
-      const std::string params = s.substr(open + 1, close - open - 1);
-      if (find_token(params, "Matrix") == std::string::npos &&
-          find_token(params, "ParamList") == std::string::npos &&
-          find_token(params, "Parameter") == std::string::npos)
-        continue;
-      if (in_anon(open)) continue;
+      while (q < t.size() &&
+             (srcmodel::is_ident(t[q], "const") ||
+              srcmodel::is_ident(t[q], "noexcept") ||
+              srcmodel::is_ident(t[q], "override") ||
+              srcmodel::is_ident(t[q], "final")))
+        ++q;
+      if (q >= t.size() || !srcmodel::is_punct(t[q], "{")) continue;
+      bool has_param_type = false;
+      for (size_t k = i + 1; k < close; ++k)
+        if (srcmodel::is_ident(t[k], "Matrix") ||
+            srcmodel::is_ident(t[k], "ParamList") ||
+            srcmodel::is_ident(t[k], "Parameter"))
+          has_param_type = true;
+      if (!has_param_type) continue;
+      if (in_anon(i)) continue;
       // `static` helpers are internal; skip (statement start = after the
       // previous ; { or }).
-      size_t stmt = b;
-      while (stmt > 0 && s[stmt - 1] != ';' && s[stmt - 1] != '{' &&
-             s[stmt - 1] != '}')
-        --stmt;
-      if (find_token(s.substr(stmt, b - stmt), "static") !=
-          std::string::npos)
-        continue;
-      const size_t body_end = match_forward(s, q);
-      if (body_end == std::string::npos) continue;
-      const std::string body = s.substr(q, body_end - q);
+      bool is_static = false;
+      for (size_t k = i - 1; k-- > 0;) {
+        if (srcmodel::is_punct(t[k], ";") || srcmodel::is_punct(t[k], "{") ||
+            srcmodel::is_punct(t[k], "}"))
+          break;
+        if (srcmodel::is_ident(t[k], "static")) is_static = true;
+      }
+      if (is_static) continue;
+      const size_t body_end = srcmodel::match_forward(t, q);
+      if (body_end == t.size()) continue;
       // Delegating to the base begin_step/end_step counts: those perform
       // the APOLLO_CHECKs shared by every optimizer.
-      if (body.find("APOLLO_CHECK") != std::string::npos ||
-          body.find("Optimizer::begin_step(") != std::string::npos ||
-          body.find("Optimizer::end_step(") != std::string::npos) {
-        pos = q;
-        continue;
+      bool checked = false;
+      for (size_t k = q; k < body_end; ++k) {
+        if (t[k].kind == TokKind::kIdent &&
+            t[k].text.rfind("APOLLO_CHECK", 0) == 0)
+          checked = true;
+        if (srcmodel::match_seq(t, k, {"Optimizer", "::", "begin_step", "("}) ||
+            srcmodel::match_seq(t, k, {"Optimizer", "::", "end_step", "("}))
+          checked = true;
       }
-      emit(ft, flat.line_of(b), "check-shape-preconditions",
+      if (checked) continue;
+      emit(ft, t[i - 1].line, "check-shape-preconditions",
            "'" + name +
                "' takes Matrix/ParamList arguments but never "
                "APOLLO_CHECKs its preconditions; add a shape/size check "
                "or annotate why none is needed");
-      pos = q;
     }
   }
 
@@ -814,38 +528,17 @@ int main(int argc, char** argv) {
   }
   if (dirs.empty()) dirs = {"src", "tools", "bench", "tests"};
 
-  std::vector<fs::path> files;
-  for (const std::string& d : dirs) {
-    const fs::path base = root / d;
-    if (!fs::exists(base)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext != ".h" && ext != ".cpp" && ext != ".cc" && ext != ".hpp")
-        continue;
-      if (entry.path().string().find("build") != std::string::npos &&
-          entry.path().string().find("/build") != std::string::npos)
-        continue;
-      files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
+  const std::vector<fs::path> files = srcmodel::collect_sources(root, dirs);
 
   std::vector<Diagnostic> diags;
   Linter linter(&diags);
   int scanned = 0;
   for (const fs::path& f : files) {
-    std::ifstream in(f, std::ios::binary);
-    if (!in) {
+    SourceFile ft;
+    if (!srcmodel::load_file(f, fs::relative(f, root).generic_string(), ft)) {
       std::cerr << "apollo-lint: cannot read " << f << "\n";
       return 2;
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    FileText ft;
-    ft.display_path = fs::relative(f, root).generic_string();
-    ft.is_header = f.extension() == ".h" || f.extension() == ".hpp";
-    strip_comments_and_strings(buf.str(), ft);
     linter.lint(ft);
     ++scanned;
   }
